@@ -1,0 +1,91 @@
+// Command mcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mcbench -list
+//	mcbench -experiment fig5
+//	mcbench -experiment all -full
+//
+// Quick scale (default) finishes in minutes; -full reproduces the paper's
+// parameter ranges and can run for hours, as the originals did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sessiondir/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		id     = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		full   = flag.Bool("full", false, "paper-scale parameters (slow)")
+		outDir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Description)
+		}
+		return
+	}
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+
+	var runners []experiments.Runner
+	if *id == "all" {
+		runners = experiments.All()
+	} else {
+		r, err := experiments.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("==== %s: %s (scale=%s) ====\n", r.ID, r.Description, scale.Name)
+		start := time.Now()
+		var out io.Writer = os.Stdout
+		var file *os.File
+		if *outDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(*outDir, r.ID+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			out = io.MultiWriter(os.Stdout, file)
+		}
+		if err := r.Run(out, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("==== %s done in %v ====\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,62 @@
+// Command mcollect reproduces the paper's data pipeline: crawl a multicast
+// topology the way mcollect/mwatch crawled the 1998 Mbone (per-router
+// queries, some routers silent), clean the result to its largest connected
+// component, and write the map the simulations consume.
+//
+//	mcollect -nodes 1864 -response 0.9 -out mbone.map
+//	mktopo -in mbone.map -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 1864, "size of the underlying Mbone")
+		response = flag.Float64("response", 0.9, "probability a router answers the crawler")
+		seed     = flag.Uint64("seed", 1998, "generator and crawl seed")
+		monitor  = flag.Int("monitor", 0, "the mwatch daemon's home router")
+		outFile  = flag.String("out", "", "write the cleaned map to this file")
+	)
+	flag.Parse()
+
+	real, err := topology.GenerateMbone(topology.MboneConfig{Nodes: *nodes}, stats.NewRNG(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	found := topology.Discover(real, topology.DiscoverConfig{
+		Monitor:      topology.NodeID(*monitor),
+		ResponseProb: *response,
+		Seed:         *seed,
+	})
+	clean, _ := topology.CleanMap(found)
+
+	fmt.Printf("# underlying Mbone: %d routers, %d links\n", real.NumNodes(), real.NumLinks())
+	fmt.Printf("# crawl (response=%.0f%%): %d links reported\n", *response*100, found.NumLinks())
+	fmt.Printf("# cleaned map: %d routers, %d links, connected=%v\n",
+		clean.NumNodes(), clean.NumLinks(), clean.Connected())
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := topology.Write(f, clean); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", *outFile)
+	}
+}

@@ -1,0 +1,186 @@
+// Command sdrd is a session directory daemon: it announces sessions from
+// the command line over SAP, listens for everyone else's announcements,
+// allocates addresses with Deterministic Adaptive IPRMA, and runs the
+// three-phase clash correction protocol.
+//
+// By default it joins the well-known SAP group (224.2.127.254:9875), which
+// needs multicast-capable networking. With -peers it switches to unicast
+// fan-out so a set of daemons can run on hosts (or ports) without
+// multicast routing:
+//
+//	sdrd -origin 10.0.0.1 -listen 127.0.0.1:7001 -peers 127.0.0.1:7002 \
+//	     -announce "Team standup" -ttl 15
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sessiondir"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/session"
+	"sessiondir/internal/transport"
+)
+
+func main() {
+	var (
+		origin    = flag.String("origin", "127.0.0.1", "our IPv4 address, stamped on announcements")
+		group     = flag.String("group", transport.DefaultSAPGroup.String(), "SAP multicast group")
+		port      = flag.Uint("port", transport.DefaultSAPPort, "SAP UDP port")
+		peers     = flag.String("peers", "", "comma-separated unicast peers (disables multicast)")
+		listen    = flag.String("listen", "", "unicast listen address (with -peers)")
+		announce  = flag.String("announce", "", "announce a session with this name")
+		ttl       = flag.Uint("ttl", 127, "scope TTL for the announced session")
+		duration  = flag.Duration("for", 0, "exit after this long (0 = run until signal)")
+		cacheFile = flag.String("cache", "", "persist the session cache to this file across restarts")
+		budget    = flag.Int("budget", 0, "outbound bandwidth budget in bits/second (0 = unlimited; SAP convention is 4000)")
+	)
+	flag.Parse()
+
+	tr, err := openTransport(*group, uint16(*port), *peers, *listen)
+	if err != nil {
+		log.Fatalf("transport: %v", err)
+	}
+	if *budget > 0 {
+		limited, err := transport.NewRateLimited(tr, *budget, 0, nil)
+		if err != nil {
+			log.Fatalf("budget: %v", err)
+		}
+		tr = limited
+		log.Printf("outbound budget: %d bits/second", *budget)
+	}
+	defer tr.Close()
+
+	originAddr, err := netip.ParseAddr(*origin)
+	if err != nil {
+		log.Fatalf("bad -origin: %v", err)
+	}
+
+	dir, err := sessiondir.New(sessiondir.Config{
+		Origin:    originAddr,
+		Transport: tr,
+		OnEvent: func(e sessiondir.Event) {
+			if e.Desc != nil {
+				log.Printf("%s: %s (%s ttl=%d)", e.Kind, e.Desc.Name, e.Desc.Group, e.Desc.TTL)
+			} else {
+				log.Printf("%s: %s", e.Kind, e.Key)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("directory: %v", err)
+	}
+	defer dir.Close()
+
+	if *cacheFile != "" {
+		if f, err := os.Open(*cacheFile); err == nil {
+			n, lerr := dir.LoadCache(f)
+			f.Close()
+			if lerr != nil {
+				log.Printf("cache load: %v", lerr)
+			} else {
+				log.Printf("loaded %d cached sessions from %s", n, *cacheFile)
+			}
+		}
+		defer func() {
+			f, err := os.Create(*cacheFile)
+			if err != nil {
+				log.Printf("cache save: %v", err)
+				return
+			}
+			if err := dir.SaveCache(f); err != nil {
+				log.Printf("cache save: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("cache save: %v", err)
+			}
+		}()
+	}
+
+	if *announce != "" {
+		desc, err := dir.CreateSession(&session.Description{
+			Name: *announce,
+			TTL:  mcast.TTL(*ttl),
+			Media: []session.Media{
+				{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"},
+			},
+			Start: time.Now(),
+			Stop:  time.Now().Add(4 * time.Hour),
+		})
+		if err != nil {
+			log.Fatalf("announce: %v", err)
+		}
+		log.Printf("announcing %q on %s with TTL %d", desc.Name, desc.Group, desc.TTL)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	// Periodically print the directory contents, like sdr's session list.
+	go func() {
+		tick := time.NewTicker(10 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				sessions := dir.Sessions()
+				m := dir.Metrics()
+				log.Printf("---- %d sessions known | sent=%d recv=%d learned=%d moves=%d defenses=%d/%d ----",
+					len(sessions), m.AnnouncementsSent, m.PacketsReceived, m.SessionsLearned,
+					m.ClashAddressChanges, m.ClashDefensesOwn, m.ClashDefensesThird)
+				for _, s := range sessions {
+					log.Printf("  %-30q %s ttl=%d from %s", s.Name, s.Group, s.TTL, s.Origin)
+				}
+			}
+		}
+	}()
+
+	if err := dir.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	log.Println("sdrd exiting")
+}
+
+func openTransport(group string, port uint16, peers, listen string) (transport.Transport, error) {
+	if peers != "" {
+		var addrs []netip.AddrPort
+		for _, p := range strings.Split(peers, ",") {
+			ap, err := netip.ParseAddrPort(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad peer %q: %w", p, err)
+			}
+			addrs = append(addrs, ap)
+		}
+		tr, err := transport.NewUDP(transport.UDPConfig{Peers: addrs, ListenAddr: listen})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("unicast fan-out on %s to %v", tr.LocalAddr(), addrs)
+		return tr, nil
+	}
+	g, err := netip.ParseAddr(group)
+	if err != nil {
+		return nil, fmt.Errorf("bad group %q: %w", group, err)
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{Group: g, Port: port})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("joined %s:%d", g, port)
+	return tr, nil
+}

@@ -1,0 +1,580 @@
+package sessiondir
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/announce"
+	"sessiondir/internal/clash"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/sap"
+	"sessiondir/internal/session"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/transport"
+)
+
+// EventKind labels directory observability events.
+type EventKind int
+
+const (
+	// EventAnnounceSent: we transmitted an announcement (own or defended).
+	EventAnnounceSent EventKind = iota
+	// EventSessionLearned: a previously unknown session appeared.
+	EventSessionLearned
+	// EventSessionExpired: a cached session timed out.
+	EventSessionExpired
+	// EventAddressChanged: one of our sessions moved due to a clash.
+	EventAddressChanged
+	// EventDefendedOwn: we re-announced to defend a long-standing session.
+	EventDefendedOwn
+	// EventDefendedOther: we re-announced another site's session (phase 3).
+	EventDefendedOther
+	// EventDeleteSent: we withdrew one of our sessions.
+	EventDeleteSent
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventAnnounceSent:
+		return "announce-sent"
+	case EventSessionLearned:
+		return "session-learned"
+	case EventSessionExpired:
+		return "session-expired"
+	case EventAddressChanged:
+		return "address-changed"
+	case EventDefendedOwn:
+		return "defended-own"
+	case EventDefendedOther:
+		return "defended-other"
+	case EventDeleteSent:
+		return "delete-sent"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observability notification.
+type Event struct {
+	Kind EventKind
+	Key  string // session key
+	Desc *session.Description
+}
+
+// Config assembles a Directory.
+type Config struct {
+	// Origin is this host's address, stamped on announcements. Required.
+	Origin netip.Addr
+	// Transport carries SAP packets. Required.
+	Transport transport.Transport
+	// Space is the dynamic address block to allocate from
+	// (zero = the SAP dynamic block).
+	Space mcast.AddrSpace
+	// Allocator picks addresses (nil = Deterministic Adaptive IPRMA with
+	// a 20% gap budget, the paper's AIPR-1).
+	Allocator allocator.Allocator
+	// Backoff is the re-announcement schedule (zero = paper's 5 s-start
+	// exponential schedule with the SAP bandwidth-derived steady rate).
+	Backoff announce.Backoff
+	// CacheTimeout expires unheard sessions (0 = one hour).
+	CacheTimeout time.Duration
+	// RecentWindow is the clash protocol's "just announced" window
+	// (0 = 30 s).
+	RecentWindow time.Duration
+	// Delay is the third-party defence delay distribution
+	// (nil = exponential over [0 s, 3.2 s] with a 200 ms RTT).
+	Delay clash.DelayDist
+	// Clock supplies time (nil = time.Now). Injectable for tests.
+	Clock func() time.Time
+	// Seed drives the randomised choices (0 = arbitrary fixed seed).
+	Seed uint64
+	// OnEvent, if set, receives observability events synchronously; it
+	// must not call back into the Directory.
+	OnEvent func(Event)
+}
+
+type ownedSession struct {
+	desc          *session.Description
+	announceCount int
+	nextAnnounce  time.Time
+}
+
+// Directory is a session directory agent: announcer, listener, address
+// allocator and clash resolver in one. Safe for concurrent use.
+type Directory struct {
+	cfg   Config
+	space mcast.AddrSpace
+	alloc allocator.Allocator
+
+	mu      sync.Mutex
+	rng     *stats.RNG
+	owned   map[string]*ownedSession
+	cache   *announce.Cache
+	tracker *clash.Tracker
+	epoch   time.Time
+	nextID  uint64
+	closed  bool
+	// outbox holds packets built under mu and transmitted after unlock, so
+	// synchronous transports whose recipients react immediately (the
+	// in-process Bus) cannot re-enter and deadlock.
+	outbox []outMsg
+
+	metrics Metrics
+}
+
+// Metrics are the directory's operational counters, as exposed by sdrd.
+type Metrics struct {
+	AnnouncementsSent   uint64 // SAP announcements transmitted (own + defended)
+	DeletionsSent       uint64
+	PacketsReceived     uint64 // well-formed SAP packets processed
+	PacketsMalformed    uint64 // undecodable packets or payloads dropped
+	SessionsLearned     uint64 // distinct sessions (or new versions) cached
+	SessionsExpired     uint64
+	ClashAddressChanges uint64 // phase-2 moves of our own sessions
+	ClashDefensesOwn    uint64 // phase-1 re-announcements
+	ClashDefensesThird  uint64 // phase-3 defenses of others' sessions
+}
+
+type outMsg struct {
+	data []byte
+	ttl  mcast.TTL
+}
+
+// flush transmits queued packets outside the lock. Reactions triggered at
+// recipients may enqueue more packets here (via onPacket); the loop drains
+// until quiescent.
+func (d *Directory) flush() {
+	for {
+		d.mu.Lock()
+		if len(d.outbox) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		msgs := d.outbox
+		d.outbox = nil
+		d.mu.Unlock()
+		for _, m := range msgs {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = d.cfg.Transport.Send(ctx, m.data, m.ttl) // transient errors: next interval retries
+			cancel()
+		}
+	}
+}
+
+// New assembles and starts listening. Call Run (or Step in virtual-time
+// tests) to drive timers.
+func New(cfg Config) (*Directory, error) {
+	if !cfg.Origin.IsValid() || !cfg.Origin.Is4() {
+		return nil, fmt.Errorf("sessiondir: Config.Origin must be a valid IPv4 address")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("sessiondir: Config.Transport is required")
+	}
+	if cfg.Space.Size == 0 {
+		cfg.Space = mcast.SAPDynamicSpace()
+	}
+	if cfg.Allocator == nil {
+		cfg.Allocator = allocator.NewAdaptive(cfg.Space.Size, allocator.AdaptiveConfig{
+			GapFraction: 0.2,
+			Name:        "AIPR-1 (20% gap)",
+		})
+	}
+	if cfg.Allocator.Size() != cfg.Space.Size {
+		return nil, fmt.Errorf("sessiondir: allocator manages %d addresses but the space has %d",
+			cfg.Allocator.Size(), cfg.Space.Size)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Backoff == (announce.Backoff{}) {
+		cfg.Backoff = announce.DefaultBackoff(announce.MinInterval)
+	}
+	if cfg.RecentWindow == 0 {
+		cfg.RecentWindow = 30 * time.Second
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = clash.NewExponentialDelay(0, 3200, 200)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5d0_1998
+	}
+	d := &Directory{
+		cfg:   cfg,
+		space: cfg.Space,
+		alloc: cfg.Allocator,
+		rng:   stats.NewRNG(seed),
+		owned: make(map[string]*ownedSession),
+		cache: announce.NewCache(cfg.CacheTimeout),
+		epoch: cfg.Clock(),
+	}
+	d.tracker = clash.NewTracker(clash.TrackerConfig{
+		RecentWindow: float64(cfg.RecentWindow.Milliseconds()),
+		Delay:        cfg.Delay,
+	}, d.rng.Split())
+	cfg.Transport.Subscribe(d.onPacket)
+	return d, nil
+}
+
+// ms converts a wall time to the tracker's millisecond timeline.
+func (d *Directory) ms(t time.Time) float64 {
+	return float64(t.Sub(d.epoch)) / float64(time.Millisecond)
+}
+
+func (d *Directory) emit(e Event) {
+	if d.cfg.OnEvent != nil {
+		d.cfg.OnEvent(e)
+	}
+}
+
+// CreateSession allocates a multicast address for desc (overwriting
+// desc.Group), registers it as owned, and announces it immediately.
+// The returned description is the directory's own copy.
+func (d *Directory) CreateSession(desc *session.Description) (*session.Description, error) {
+	out, err := d.createSession(desc)
+	d.flush()
+	return out, err
+}
+
+func (d *Directory) createSession(desc *session.Description) (*session.Description, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("sessiondir: closed")
+	}
+	now := d.cfg.Clock()
+	c := *desc
+	c.Media = append([]session.Media(nil), desc.Media...)
+	c.Origin = d.cfg.Origin
+	if c.ID == 0 {
+		d.nextID++
+		c.ID = uint64(now.UnixNano())>>16 + d.nextID
+	}
+	if c.Version == 0 {
+		c.Version = 1
+	}
+	addr, err := d.alloc.Allocate(d.viewLocked(), c.TTL, d.rng)
+	if err != nil {
+		return nil, fmt.Errorf("sessiondir: allocate: %w", err)
+	}
+	c.Group = d.space.Group(addr)
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	own := &ownedSession{desc: &c}
+	d.owned[c.Key()] = own
+	d.tracker.AnnounceOwn(clash.SessionKey(c.Key()), addr, c.TTL, d.ms(now))
+	if err := d.announceLocked(own, now); err != nil {
+		delete(d.owned, c.Key())
+		return nil, err
+	}
+	return &c, nil
+}
+
+// viewLocked builds the allocator view: every live cached session plus our
+// own, expressed as address indices. Sessions outside the managed space
+// (foreign blocks) are ignored, as sdr does.
+func (d *Directory) viewLocked() []allocator.SessionInfo {
+	var view []allocator.SessionInfo
+	for _, e := range d.cache.Live() {
+		if idx, ok := d.space.Index(e.Desc.Group); ok {
+			view = append(view, allocator.SessionInfo{Addr: idx, TTL: e.Desc.TTL})
+		}
+	}
+	for _, own := range d.owned {
+		if idx, ok := d.space.Index(own.desc.Group); ok {
+			view = append(view, allocator.SessionInfo{Addr: idx, TTL: own.desc.TTL})
+		}
+	}
+	return view
+}
+
+// announceLocked transmits one SAP announcement for an owned session and
+// schedules the next per the back-off schedule.
+func (d *Directory) announceLocked(own *ownedSession, now time.Time) error {
+	if err := d.sendDescLocked(own.desc, sap.Announce); err != nil {
+		return err
+	}
+	steady := announce.SteadyInterval(d.cache.TotalAdBytes(), announce.DefaultBandwidthBps)
+	b := d.cfg.Backoff
+	if b.Steady < steady {
+		b.Steady = steady
+	}
+	own.nextAnnounce = now.Add(b.IntervalAfter(own.announceCount))
+	own.announceCount++
+	d.metrics.AnnouncementsSent++
+	d.emit(Event{Kind: EventAnnounceSent, Key: own.desc.Key(), Desc: own.desc})
+	return nil
+}
+
+// sendDescLocked marshals a description and queues it for transmission
+// with the session's own scope (announcements travel exactly as far as the
+// session's data). Actual transmission happens in flush, outside the lock.
+func (d *Directory) sendDescLocked(desc *session.Description, typ sap.MessageType) error {
+	payload, err := desc.MarshalSDP()
+	if err != nil {
+		return err
+	}
+	pkt := sap.Packet{
+		Type:      typ,
+		MsgIDHash: sap.MsgIDHashOf(payload),
+		Origin:    desc.Origin,
+		Payload:   payload,
+	}
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		return err
+	}
+	d.outbox = append(d.outbox, outMsg{data: wire, ttl: desc.TTL})
+	return nil
+}
+
+// WithdrawSession deletes one of our sessions, sending a SAP deletion.
+func (d *Directory) WithdrawSession(key string) error {
+	err := d.withdrawSession(key)
+	d.flush()
+	return err
+}
+
+func (d *Directory) withdrawSession(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	own, ok := d.owned[key]
+	if !ok {
+		return fmt.Errorf("sessiondir: not our session: %s", key)
+	}
+	delete(d.owned, key)
+	d.tracker.Forget(clash.SessionKey(key))
+	if err := d.sendDescLocked(own.desc, sap.Delete); err != nil {
+		return err
+	}
+	d.metrics.DeletionsSent++
+	d.emit(Event{Kind: EventDeleteSent, Key: key, Desc: own.desc})
+	return nil
+}
+
+// Sessions returns a snapshot of all known live sessions (cached + owned).
+func (d *Directory) Sessions() []*session.Description {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []*session.Description
+	seen := map[string]bool{}
+	for _, own := range d.owned {
+		out = append(out, own.desc)
+		seen[own.desc.Key()] = true
+	}
+	for _, e := range d.cache.Live() {
+		if !seen[e.Desc.Key()] {
+			out = append(out, e.Desc)
+		}
+	}
+	return out
+}
+
+// OwnSessions returns the sessions this directory announces.
+func (d *Directory) OwnSessions() []*session.Description {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*session.Description, 0, len(d.owned))
+	for _, own := range d.owned {
+		out = append(out, own.desc)
+	}
+	return out
+}
+
+// onPacket is the transport receive path.
+func (d *Directory) onPacket(m transport.Message) {
+	d.handlePacket(m)
+	d.flush()
+}
+
+func (d *Directory) handlePacket(m transport.Message) {
+	var pkt sap.Packet
+	if err := pkt.DecodeMaybeCompressed(m.Data); err != nil {
+		d.bumpMalformed()
+		return // malformed packets are dropped silently, as SAP requires
+	}
+	if pkt.EffectivePayloadType() != sap.PayloadTypeSDP {
+		d.bumpMalformed()
+		return
+	}
+	desc, err := session.ParseSDP(pkt.Payload)
+	if err != nil {
+		d.bumpMalformed()
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	d.metrics.PacketsReceived++
+	now := d.cfg.Clock()
+	key := desc.Key()
+
+	if pkt.Type == sap.Delete {
+		// Only the originator may delete (we have no auth, so check the
+		// SAP origin matches the session origin).
+		if pkt.Origin == desc.Origin {
+			d.cache.Delete(key, now)
+			d.tracker.Forget(clash.SessionKey(key))
+		}
+		return
+	}
+
+	if _, fresh := d.cache.Observe(desc, now); fresh {
+		d.metrics.SessionsLearned++
+		d.emit(Event{Kind: EventSessionLearned, Key: key, Desc: desc})
+	}
+	if idx, ok := d.space.Index(desc.Group); ok {
+		actions := d.tracker.Observe(clash.Observation{
+			Key:  clash.SessionKey(key),
+			Addr: idx,
+			TTL:  desc.TTL,
+			At:   d.ms(now),
+		})
+		d.applyActionsLocked(actions, now)
+	}
+}
+
+// applyActionsLocked executes clash protocol reactions.
+func (d *Directory) applyActionsLocked(actions []clash.Action, now time.Time) {
+	for _, a := range actions {
+		key := string(a.Key)
+		switch a.Kind {
+		case clash.ActionResendOwn:
+			if own, ok := d.owned[key]; ok {
+				if err := d.announceLocked(own, now); err == nil {
+					d.metrics.ClashDefensesOwn++
+					d.emit(Event{Kind: EventDefendedOwn, Key: key, Desc: own.desc})
+				}
+			}
+		case clash.ActionModifyAddress:
+			own, ok := d.owned[key]
+			if !ok {
+				continue
+			}
+			addr, err := d.alloc.Allocate(d.viewLocked(), own.desc.TTL, d.rng)
+			if err != nil {
+				continue // space exhausted: keep the clashing address
+			}
+			own.desc = own.desc.WithGroup(d.space.Group(addr))
+			own.announceCount = 0 // restart the fast back-off phase
+			d.tracker.AnnounceOwn(clash.SessionKey(key), addr, own.desc.TTL, d.ms(now))
+			if err := d.announceLocked(own, now); err == nil {
+				d.metrics.ClashAddressChanges++
+				d.emit(Event{Kind: EventAddressChanged, Key: key, Desc: own.desc})
+			}
+		case clash.ActionDefendOther:
+			if e, ok := d.cache.Get(key); ok {
+				if err := d.sendDescLocked(e.Desc, sap.Announce); err == nil {
+					d.metrics.ClashDefensesThird++
+					d.emit(Event{Kind: EventDefendedOther, Key: key, Desc: e.Desc})
+				}
+			}
+		}
+	}
+}
+
+// Step runs all timer-driven work due at the given instant: scheduled
+// re-announcements, third-party defenses, and cache expiry. Tests drive
+// Step directly with a virtual clock; Run calls it periodically.
+func (d *Directory) Step(now time.Time) {
+	d.step(now)
+	d.flush()
+}
+
+func (d *Directory) step(now time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	for _, own := range d.owned {
+		if !own.nextAnnounce.After(now) {
+			_ = d.announceLocked(own, now) // transient send errors retry next interval
+		}
+	}
+	d.applyActionsLocked(d.tracker.Due(d.ms(now)), now)
+	for _, key := range d.cache.Expire(now) {
+		d.tracker.Forget(clash.SessionKey(key))
+		d.metrics.SessionsExpired++
+		d.emit(Event{Kind: EventSessionExpired, Key: key})
+	}
+}
+
+// Run drives Step on a real-time ticker until ctx is cancelled.
+func (d *Directory) Run(ctx context.Context) error {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			d.Step(d.cfg.Clock())
+		}
+	}
+}
+
+// Close withdraws nothing (sessions live on in peers' caches until they
+// expire) but stops processing. The transport is not closed; the caller
+// owns it.
+func (d *Directory) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+}
+
+// SaveCache persists the listened-session cache (own sessions are not
+// included; they are re-announced on restart anyway). sdr kept such a
+// cache so restarts come up with a complete picture — the "local caching
+// servers" of §2.3.
+func (d *Directory) SaveCache(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache.Save(w)
+}
+
+// LoadCache merges a persisted cache, registering each loaded session
+// with the clash tracker so its address is defended from the start.
+// Returns the number of sessions loaded.
+func (d *Directory) LoadCache(r io.Reader) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.cfg.Clock()
+	n, err := d.cache.Load(r, now)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range d.cache.Live() {
+		if idx, ok := d.space.Index(e.Desc.Group); ok {
+			d.tracker.Observe(clash.Observation{
+				Key:  clash.SessionKey(e.Desc.Key()),
+				Addr: idx,
+				TTL:  e.Desc.TTL,
+				At:   d.ms(now),
+			})
+		}
+	}
+	return n, nil
+}
+
+func (d *Directory) bumpMalformed() {
+	d.mu.Lock()
+	d.metrics.PacketsMalformed++
+	d.mu.Unlock()
+}
+
+// Metrics returns a snapshot of the directory's operational counters.
+func (d *Directory) Metrics() Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.metrics
+}

@@ -1,0 +1,30 @@
+// Package sessiondir is a multicast session directory with fully
+// distributed multicast address allocation, implementing the architecture
+// analysed in Mark Handley's "Session Directories and Scalable Internet
+// Multicast Address Allocation" (SIGCOMM 1998).
+//
+// A Directory instance announces the sessions its user creates over a SAP
+// announcement channel, listens to everyone else's announcements to build
+// a view of the addresses in use, allocates addresses for new sessions
+// from that view using (by default) Deterministic Adaptive IPRMA, and runs
+// the paper's three-phase clash detection and correction protocol:
+// long-standing sessions defend their address, recently announced sessions
+// move, and third parties defend sessions whose originators have gone
+// quiet, with exponentially distributed response delays to avoid
+// implosion.
+//
+// The heavy machinery lives in the internal packages:
+//
+//   - internal/allocator — R, IR, IPR k-band, adaptive and hybrid IPRMA
+//   - internal/announce  — announce/listen cache, back-off schedules
+//   - internal/sap       — SAP wire codec
+//   - internal/session   — session descriptions and SDP
+//   - internal/clash     — response-delay distributions and the
+//     three-phase protocol state machine
+//   - internal/topology  — Mbone and Doar topology models
+//   - internal/sim       — the paper's simulations
+//   - internal/analytic  — the paper's closed-form models
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of every figure and table in the paper's evaluation.
+package sessiondir

@@ -1,0 +1,107 @@
+package sessiondir_test
+
+// Testable godoc examples for the public API.
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sessiondir"
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/session"
+	"sessiondir/internal/transport"
+)
+
+// fixedClock makes example output deterministic.
+func fixedClock() time.Time {
+	return time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+}
+
+// ExampleNew shows the minimal wiring: one directory on an in-process bus.
+func ExampleNew() {
+	bus := transport.NewBus()
+	dir, err := sessiondir.New(sessiondir.Config{
+		Origin:    netip.MustParseAddr("10.0.0.1"),
+		Transport: bus.Endpoint(),
+		Clock:     fixedClock,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer dir.Close()
+	fmt.Println(len(dir.Sessions()), "sessions known")
+	// Output: 0 sessions known
+}
+
+// ExampleDirectory_CreateSession shows address allocation and discovery:
+// the directory picks the group address; a listener learns the session.
+func ExampleDirectory_CreateSession() {
+	bus := transport.NewBus()
+	alice, _ := sessiondir.New(sessiondir.Config{
+		Origin:    netip.MustParseAddr("10.0.0.1"),
+		Transport: bus.Endpoint(),
+		Space:     mcast.SyntheticSpace(16),
+		Allocator: allocator.NewAdaptive(16, allocator.AdaptiveConfig{GapFraction: 0.2}),
+		Clock:     fixedClock,
+		Seed:      1,
+	})
+	defer alice.Close()
+	bob, _ := sessiondir.New(sessiondir.Config{
+		Origin:    netip.MustParseAddr("10.0.0.2"),
+		Transport: bus.Endpoint(),
+		Space:     mcast.SyntheticSpace(16),
+		Clock:     fixedClock,
+		Seed:      2,
+	})
+	defer bob.Close()
+
+	desc, err := alice.CreateSession(&session.Description{
+		Name:  "Seminar",
+		TTL:   127,
+		Media: []session.Media{{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range bob.Sessions() {
+		fmt.Printf("%s on %s (scope %s)\n", s.Name, s.Group, mcast.ScopeName(s.TTL))
+	}
+	_ = desc
+	// Output: Seminar on 232.1.0.4 (scope intercontinental)
+}
+
+// ExampleDirectory_WithdrawSession shows deletion propagating to peers.
+func ExampleDirectory_WithdrawSession() {
+	bus := transport.NewBus()
+	a, _ := sessiondir.New(sessiondir.Config{
+		Origin:    netip.MustParseAddr("10.0.0.1"),
+		Transport: bus.Endpoint(),
+		Clock:     fixedClock,
+	})
+	defer a.Close()
+	b, _ := sessiondir.New(sessiondir.Config{
+		Origin:    netip.MustParseAddr("10.0.0.2"),
+		Transport: bus.Endpoint(),
+		Clock:     fixedClock,
+	})
+	defer b.Close()
+
+	desc, _ := a.CreateSession(&session.Description{
+		Name:  "Ephemeral",
+		TTL:   15,
+		Media: []session.Media{{Type: "audio", Port: 9000, Proto: "RTP/AVP", Format: "0"}},
+	})
+	fmt.Println("before:", len(b.Sessions()))
+	if err := a.WithdrawSession(desc.Key()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("after:", len(b.Sessions()))
+	// Output:
+	// before: 1
+	// after: 0
+}

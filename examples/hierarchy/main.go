@@ -1,0 +1,82 @@
+// Hierarchy: the paper's §4.1 closing proposal, demonstrated. Address
+// allocation is split into a slow prefix layer — regions claim contiguous
+// blocks, listen for collisions, and defend them over long timescales —
+// and a fast regional layer that allocates individual addresses inside the
+// blocks from frequent, local usage announcements. The demo drives the
+// claim protocol through a deliberate collision, then compares clash rates
+// against flat global allocation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sessiondir/internal/prefix"
+	"sessiondir/internal/stats"
+)
+
+func main() {
+	fmt.Println("== prefix layer: claim, listen, collide, resolve ==")
+	pool, err := prefix.NewPool(prefix.PoolConfig{
+		SpaceSize:   1024,
+		BlockSize:   128,
+		ListenTicks: 5,
+		Regions:     2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := stats.NewRNG(42)
+
+	// Region 0 claims a block normally.
+	c0 := pool.ClaimBlock(0, 0, 0, rng)
+	fmt.Printf("region 0 claims %s (state %s)\n", c0.Block, c0.State)
+
+	// Region 1 claims blind (a partition: it saw nothing), so it may take
+	// the same block. Force the worst case for the demo.
+	var c1 *prefix.Claim
+	for {
+		c1 = pool.ClaimBlock(1, 2, 1.0, rng)
+		if c1.Block == c0.Block {
+			break
+		}
+		pool.Release(c1)
+	}
+	fmt.Printf("region 1 blindly claims %s — collision pending\n", c1.Block)
+
+	collisions := pool.Tick(10) // past both listen periods
+	fmt.Printf("after the listen period: %d collision resolved\n", collisions)
+	fmt.Printf("region 0 claim: %s, region 1 claim: %s\n", c0.State, c1.State)
+
+	// Region 1 re-claims with visibility restored.
+	c1b := pool.ClaimBlock(1, 11, 0, rng)
+	pool.Tick(20)
+	fmt.Printf("region 1 re-claims %s (state %s)\n", c1b.Block, c1b.State)
+	if err := pool.Invariant(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariant holds: no two active claims overlap")
+
+	fmt.Println("\n== flat vs hierarchical under churn ==")
+	res, err := prefix.RunExperiment(prefix.ExperimentConfig{
+		SpaceSize:         2048,
+		BlockSize:         64,
+		Regions:           8,
+		SessionsPerRegion: 120,
+		Churns:            200,
+		InvisibleFlat:     0.02,
+		InvisibleLocal:    0.0005,
+		InvisiblePrefix:   0.001,
+		ListenTicks:       3,
+		Seed:              7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Println(`
+why it wins (paper §4.1): prefix allocation runs on long timescales, so
+its collision window is negligible; usage announcements never leave the
+region, so they can be frequent — the invisible fraction i that limits
+Equation-1 packing drops by orders of magnitude.`)
+}

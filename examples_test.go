@@ -1,0 +1,71 @@
+package sessiondir_test
+
+// Smoke tests: every example must build and run to completion. They use
+// `go run` so the examples are exercised exactly as the README shows them.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, path string, wantOutput ...string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("examples run the toolchain; skipped in -short")
+	}
+	done := make(chan struct{})
+	cmd := exec.Command("go", "run", path)
+	cmd.Dir = "."
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Minute):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%s timed out", path)
+	}
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", path, err, out)
+	}
+	for _, want := range wantOutput {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("%s output missing %q:\n%s", path, want, out)
+		}
+	}
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	runExample(t, "./examples/quickstart",
+		"bob learned",
+		"after withdrawal bob knows 0 sessions")
+}
+
+func TestExampleConference(t *testing.T) {
+	runExample(t, "./examples/conference",
+		"CLASH pending",
+		"clash resolved: distinct groups, long-standing session kept its address")
+}
+
+func TestExampleMbonesim(t *testing.T) {
+	runExample(t, "./examples/mbonesim",
+		"IPR 7-band",
+		"reading the numbers")
+}
+
+func TestExampleSapdump(t *testing.T) {
+	runExample(t, "./examples/sapdump",
+		"application/sdp",
+		"decoded: type=announce")
+}
+
+func TestExampleHierarchy(t *testing.T) {
+	runExample(t, "./examples/hierarchy",
+		"collision resolved",
+		"invariant holds")
+}

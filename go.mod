@@ -1,0 +1,3 @@
+module sessiondir
+
+go 1.23

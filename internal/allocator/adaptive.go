@@ -1,0 +1,206 @@
+package allocator
+
+import (
+	"fmt"
+	"math"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// DefaultTargetOccupancy is the paper's 67% band occupancy target, chosen
+// from Figure 6 as roughly the fraction of a 10000-address band that can
+// be allocated before propagation delay and loss alone push the clash
+// probability to 0.5.
+const DefaultTargetOccupancy = 0.67
+
+// AdaptiveConfig parameterises the adaptive informed partitioned random
+// allocator (Figures 8 and 12).
+type AdaptiveConfig struct {
+	// GapFraction is the share of the address space reserved for
+	// inter-band gaps: 0.2 for AIPR-1, 0.5/0.6/0.7 for AIPR-2/3/4.
+	GapFraction float64
+	// TargetOccupancy is the band occupancy goal; 0 means the paper's 67%.
+	TargetOccupancy float64
+	// Margin is the §2.4.1 partition-map margin of safety; 0 means 2
+	// (55 TTL classes).
+	Margin int
+	// Name overrides the display name.
+	Name string
+}
+
+// Adaptive implements Deterministic Adaptive IPRMA (§2.4, Figure 8):
+//
+//   - one band per Figure-11 TTL class, clustered at the end of the space
+//     corresponding to maximum TTL;
+//   - each band's width grows with the number of *visible* sessions in it,
+//     targeting the configured occupancy, starting from a single address;
+//   - expanding higher-TTL bands push lower-TTL bands down the space;
+//   - a configurable share of the space is reserved as inter-band gaps to
+//     absorb churn in lower bands ("flash crowds") without collisions.
+//
+// The determinism property: a site allocating at TTL x derives the
+// position of x's band purely from sessions with TTL ≥ x (band widths for
+// higher classes, plus x's own band width). Those are exactly the sessions
+// whose announcements any potential clash partner can also see, so — given
+// a reliable announcement mechanism — all sites that could clash compute
+// compatible layouts, and no clash occurs from layout disagreement alone.
+type Adaptive struct {
+	size      uint32
+	gapFrac   float64
+	occupancy float64
+	pm        *PartitionMap
+	name      string
+}
+
+// NewAdaptive returns a Deterministic Adaptive IPRMA allocator.
+func NewAdaptive(size uint32, cfg AdaptiveConfig) *Adaptive {
+	validateSize(size)
+	if cfg.GapFraction < 0 || cfg.GapFraction >= 1 {
+		panic(fmt.Sprintf("allocator: gap fraction %v outside [0,1)", cfg.GapFraction))
+	}
+	occ := cfg.TargetOccupancy
+	if occ == 0 {
+		occ = DefaultTargetOccupancy
+	}
+	if occ <= 0 || occ > 1 {
+		panic(fmt.Sprintf("allocator: target occupancy %v outside (0,1]", occ))
+	}
+	margin := cfg.Margin
+	if margin == 0 {
+		margin = 2
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("AIPR (%d%% gap)", int(math.Round(cfg.GapFraction*100)))
+	}
+	return &Adaptive{
+		size:      size,
+		gapFrac:   cfg.GapFraction,
+		occupancy: occ,
+		pm:        NewPartitionMap(margin),
+		name:      name,
+	}
+}
+
+// Name implements Allocator.
+func (a *Adaptive) Name() string { return a.name }
+
+// Size implements Allocator.
+func (a *Adaptive) Size() uint32 { return a.size }
+
+// PartitionMap exposes the TTL-class mapping (for introspection/tests).
+func (a *Adaptive) PartitionMap() *PartitionMap { return a.pm }
+
+// Band is one laid-out address band: [Start, Start+Width).
+type Band struct {
+	Class int       // partition-map class index
+	Low   mcast.TTL // lowest TTL of the class
+	Start uint32
+	Width uint32
+	Count int // visible sessions in the class
+}
+
+// Layout computes the band layout a site with the given view uses. Bands
+// are returned in descending TTL order (top of the space first). Only the
+// classes present in the partition map are laid out; empty classes get the
+// minimum single-address width, as in the paper's "initial band allocation
+// allocates only a single address to each band".
+func (a *Adaptive) Layout(visible []SessionInfo) []Band {
+	counts := a.classCounts(visible)
+	return a.layoutFromCounts(counts)
+}
+
+func (a *Adaptive) classCounts(visible []SessionInfo) []int {
+	counts := make([]int, a.pm.NumClasses())
+	for _, s := range visible {
+		counts[a.pm.ClassOf(s.TTL)]++
+	}
+	return counts
+}
+
+func (a *Adaptive) layoutFromCounts(counts []int) []Band {
+	n := a.pm.NumClasses()
+	bands := make([]Band, 0, n)
+	cursor := int64(a.size) // exclusive top of the next band
+	for c := n - 1; c >= 0; c-- {
+		width := int64(a.bandWidth(counts[c]))
+		start := cursor - width
+		if start < 0 {
+			start = 0
+			if width > int64(a.size) {
+				width = int64(a.size)
+			}
+		}
+		bands = append(bands, Band{
+			Class: c,
+			Low:   a.pm.LowTTL(c),
+			Start: uint32(start),
+			Width: uint32(width),
+			Count: counts[c],
+		})
+		cursor = start
+		if counts[c] > 0 {
+			cursor -= gapBelow(a.size, a.gapFrac)
+		}
+		if cursor < 0 {
+			cursor = 0
+		}
+	}
+	return bands
+}
+
+// expectedActiveBands is the band-count assumption the inter-band gap
+// budget is divided by: TTL values cluster on a handful of conventional
+// scopes (the paper's §2.3 example uses 8 partitions; DS4 exercises 7).
+const expectedActiveBands = 8
+
+// gapBelow sizes the slack left under a band holding sessions: the paper
+// wants "a small gap between partitions with sessions in them so that
+// partitions can move ... without colliding", while empty single-address
+// bands pack tightly. The gap is a fixed share of the space — gapFrac
+// divided across the expected number of active bands — so that it scales
+// with the address space (absorbing band-width fluctuations that grow with
+// the population) while, critically for the determinism property, never
+// depending on the occupancy of bands *below* the one it protects.
+func gapBelow(size uint32, gapFrac float64) int64 {
+	if gapFrac <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(float64(size) * gapFrac / expectedActiveBands))
+}
+
+// bandWidth returns the width a band with the given visible session count
+// wants: a single address when empty, else enough to hold the sessions at
+// the target occupancy.
+func (a *Adaptive) bandWidth(count int) uint32 {
+	if count <= 0 {
+		return 1
+	}
+	return uint32(math.Ceil(float64(count) / a.occupancy))
+}
+
+// Allocate implements Allocator.
+func (a *Adaptive) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
+	bands := a.Layout(visible)
+	cls := a.pm.ClassOf(ttl)
+	var band Band
+	found := false
+	for _, b := range bands {
+		if b.Class == cls {
+			band, found = b, true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("allocator: no band for TTL %d (bug)", ttl)
+	}
+	// Allocate in the band; when it is (visibly) full, expand downward —
+	// the paper's band growth pushing lower bands down the space. The
+	// expansion may stray into lower bands' territory: that is precisely
+	// the clash risk the inter-band gaps exist to absorb.
+	if addr, ok := expandingPick(band.Start, band.Width, a.size, newUsedSet(visible), rng); ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("%w (class %d, TTL %d, %s)", ErrSpaceFull, cls, ttl, a.name)
+}

@@ -1,0 +1,156 @@
+// Package allocator implements the paper's multicast address allocation
+// algorithms: pure random (R), informed random (IR), static informed
+// partitioned random (IPR k-band), adaptive informed partitioned random
+// (AIPR, the deterministic Figure-8 variant with a configurable inter-band
+// gap budget), and the IPR-7/AIPR hybrid (AIPR-H).
+//
+// All allocators work over an abstract address space of a fixed size and
+// see the world through the *view* of the allocating site: the sessions
+// whose announcements have reached that site. Scoping means different
+// sites have different views; the clash behaviour that emerges from those
+// differing views is exactly what the paper studies.
+package allocator
+
+import (
+	"errors"
+	"fmt"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// SessionInfo is the slice of a session an allocator can see: its address
+// and its scope.
+type SessionInfo struct {
+	Addr mcast.Addr
+	TTL  mcast.TTL
+}
+
+// ErrSpaceFull is returned when the allocator cannot find any address it
+// believes to be free for the requested scope.
+var ErrSpaceFull = errors.New("allocator: no free address visible for requested scope")
+
+// An Allocator picks multicast addresses for new sessions.
+//
+// Allocate receives the set of sessions currently visible at the
+// allocating site (it must not retain or modify the slice) and the scope
+// TTL of the new session, and returns an address index in [0, Size()).
+// Implementations are deterministic given the rng stream.
+type Allocator interface {
+	// Name identifies the algorithm in experiment output, e.g. "IPR 7-band".
+	Name() string
+	// Size returns the number of addresses in the space being managed.
+	Size() uint32
+	// Allocate picks an address for a new session of scope ttl.
+	Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error)
+}
+
+// usedSet is a reusable presence map over address indices.
+type usedSet struct {
+	used map[mcast.Addr]bool
+}
+
+func newUsedSet(visible []SessionInfo) usedSet {
+	m := make(map[mcast.Addr]bool, len(visible))
+	for _, s := range visible {
+		m[s.Addr] = true
+	}
+	return usedSet{used: m}
+}
+
+func (u usedSet) has(a mcast.Addr) bool { return u.used[a] }
+
+// pickFreeInRange returns a uniformly random address in [start, start+width)
+// that is not in used. It first tries rejection sampling (cheap when the
+// range is sparsely occupied), then falls back to an exact scan so the
+// result stays uniform even in nearly full ranges. ok is false if the
+// range is fully occupied.
+func pickFreeInRange(start, width uint32, used usedSet, rng *stats.RNG) (mcast.Addr, bool) {
+	if width == 0 {
+		return 0, false
+	}
+	const rejectionTries = 32
+	for i := 0; i < rejectionTries; i++ {
+		a := mcast.Addr(start + uint32(rng.IntN(int(width))))
+		if !used.has(a) {
+			return a, true
+		}
+	}
+	// Exact: collect free slots.
+	free := make([]mcast.Addr, 0, 16)
+	for off := uint32(0); off < width; off++ {
+		a := mcast.Addr(start + off)
+		if !used.has(a) {
+			free = append(free, a)
+		}
+	}
+	if len(free) == 0 {
+		return 0, false
+	}
+	return free[rng.IntN(len(free))], true
+}
+
+// expandingPick allocates from a nominal band [start, start+width),
+// falling back to progressive downward expansion — the paper's band growth
+// only ever "pushes" lower bands *down* the space (Figure 8); bands never
+// grow upward into higher-TTL territory, because an upward stray would be
+// invisible to the wider-scoped sites it endangers. It fails when the band
+// and everything below it is visibly in use.
+func expandingPick(start, width, size uint32, used usedSet, rng *stats.RNG) (mcast.Addr, bool) {
+	_ = size
+	if addr, ok := pickFreeInRange(start, width, used, rng); ok {
+		return addr, true
+	}
+	// Grow downward, doubling the expansion region until it hits bottom.
+	expand := width
+	if expand < 4 {
+		expand = 4
+	}
+	for {
+		lo := int64(start) - int64(expand)
+		if lo < 0 {
+			lo = 0
+		}
+		if addr, ok := pickFreeInRange(uint32(lo), start-uint32(lo), used, rng); ok {
+			return addr, true
+		}
+		if lo == 0 {
+			break
+		}
+		expand *= 2
+	}
+	return 0, false
+}
+
+func validateSize(size uint32) {
+	if size == 0 {
+		panic("allocator: zero-size address space")
+	}
+}
+
+// Catalog returns one instance of every algorithm the paper simulates,
+// configured as in Figures 5 and 12, over a space of the given size.
+// It is the menu the experiment drivers and the mcbench tool iterate over.
+func Catalog(size uint32) []Allocator {
+	return []Allocator{
+		NewRandom(size),
+		NewInformedRandom(size),
+		NewStaticPartitioned(size, IPR3Separators()),
+		NewStaticPartitioned(size, IPR7Separators()),
+		NewAdaptive(size, AdaptiveConfig{GapFraction: 0.2, Name: "AIPR-1 (20% gap)"}),
+		NewAdaptive(size, AdaptiveConfig{GapFraction: 0.5, Name: "AIPR-2 (50% gap)"}),
+		NewAdaptive(size, AdaptiveConfig{GapFraction: 0.6, Name: "AIPR-3 (60% gap)"}),
+		NewAdaptive(size, AdaptiveConfig{GapFraction: 0.7, Name: "AIPR-4 (70% gap)"}),
+		NewHybrid(size),
+	}
+}
+
+// ByName returns the catalog allocator with the given Name.
+func ByName(size uint32, name string) (Allocator, error) {
+	for _, a := range Catalog(size) {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("allocator: unknown algorithm %q", name)
+}

@@ -1,0 +1,152 @@
+package allocator
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+func TestCategoryAdaptiveBasics(t *testing.T) {
+	a := NewCategoryAdaptive(1000, AdaptiveConfig{GapFraction: 0.2})
+	if a.Name() != "Category-AIPR" || a.Size() != 1000 {
+		t.Fatal("metadata")
+	}
+	rng := stats.NewRNG(1)
+	var visible []CategorySession
+	cats := []string{"music", "talks", "ietf"}
+	for i := 0; i < 200; i++ {
+		ttl := mcast.DS4().Sample(rng.IntN)
+		cat := cats[rng.IntN(len(cats))]
+		addr, err := a.Allocate(visible, ttl, cat, rng)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		for _, s := range visible {
+			if s.Addr == addr {
+				t.Fatalf("picked visible address %d", addr)
+			}
+		}
+		visible = append(visible, CategorySession{Addr: addr, TTL: ttl, Category: cat})
+	}
+}
+
+func TestCategoryAdaptiveOrderedBands(t *testing.T) {
+	a := NewCategoryAdaptive(1000, AdaptiveConfig{GapFraction: 0.2})
+	visible := []CategorySession{
+		{Addr: 1, TTL: 127, Category: "b"},
+		{Addr: 2, TTL: 127, Category: "a"},
+		{Addr: 3, TTL: 15, Category: "a"},
+	}
+	bands := a.Layout(visible, 127, "a")
+	// Expect order: class(127)/a, class(127)/b, class(15)/a — scope is the
+	// primary index (descending), category the secondary (ascending).
+	if len(bands) != 3 {
+		t.Fatalf("bands = %v", bands)
+	}
+	if !(bands[0].Category == "a" && bands[1].Category == "b") {
+		t.Fatalf("category order wrong: %v", bands)
+	}
+	if bands[0].Class != bands[1].Class || bands[2].Class >= bands[0].Class {
+		t.Fatalf("class order wrong: %v", bands)
+	}
+	// Same-class categories get disjoint bands.
+	if bands[0].Start < bands[1].Start+bands[1].Width && bands[1].Start < bands[0].Start+bands[0].Width {
+		t.Fatalf("category bands overlap: %v", bands)
+	}
+}
+
+func TestCategoryAdaptiveDeterminism(t *testing.T) {
+	// Two sites agreeing on all sessions with TTL >= 63 compute identical
+	// placements for every band at or above that scope, regardless of
+	// their disagreements below.
+	a := NewCategoryAdaptive(2000, AdaptiveConfig{GapFraction: 0.2})
+	rng := stats.NewRNG(2)
+	var shared, onlyA, onlyB []CategorySession
+	cats := []string{"x", "y", "z"}
+	for i := 0; i < 150; i++ {
+		ttl := mcast.DS4().Sample(rng.IntN)
+		s := CategorySession{
+			Addr:     mcast.Addr(rng.IntN(2000)),
+			TTL:      ttl,
+			Category: cats[rng.IntN(len(cats))],
+		}
+		switch {
+		case ttl >= 63:
+			shared = append(shared, s)
+		case rng.Bool(0.5):
+			onlyA = append(onlyA, s)
+		default:
+			onlyB = append(onlyB, s)
+		}
+	}
+	viewA := append(append([]CategorySession{}, shared...), onlyA...)
+	viewB := append(append([]CategorySession{}, shared...), onlyB...)
+	bandsA := a.Layout(viewA, 127, "x")
+	bandsB := a.Layout(viewB, 127, "x")
+	pm := NewPartitionMap(2)
+	cls := pm.ClassOf(63)
+	pick := func(bands []CategoryBand) []CategoryBand {
+		var out []CategoryBand
+		for _, b := range bands {
+			if b.Class >= cls {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
+	hiA, hiB := pick(bandsA), pick(bandsB)
+	if len(hiA) != len(hiB) {
+		t.Fatalf("band counts differ: %d vs %d", len(hiA), len(hiB))
+	}
+	for i := range hiA {
+		if hiA[i] != hiB[i] {
+			t.Fatalf("band %d differs:\n%+v\n%+v", i, hiA[i], hiB[i])
+		}
+	}
+}
+
+func TestCategoryAdaptiveExhaustion(t *testing.T) {
+	a := NewCategoryAdaptive(8, AdaptiveConfig{GapFraction: 0})
+	var visible []CategorySession
+	rng := stats.NewRNG(3)
+	for i := 0; i < 8; i++ {
+		addr, err := a.Allocate(visible, 127, "only", rng)
+		if err != nil {
+			if errors.Is(err, ErrSpaceFull) {
+				return // acceptable: bands + empties consumed the space
+			}
+			t.Fatal(err)
+		}
+		visible = append(visible, CategorySession{Addr: addr, TTL: 127, Category: "only"})
+	}
+	if _, err := a.Allocate(visible, 127, "only", rng); !errors.Is(err, ErrSpaceFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCategoryAdaptiveManyCategories(t *testing.T) {
+	// Lots of categories at one scope must still tile without overlap.
+	a := NewCategoryAdaptive(4000, AdaptiveConfig{GapFraction: 0.2})
+	var visible []CategorySession
+	rng := stats.NewRNG(4)
+	for c := 0; c < 20; c++ {
+		cat := fmt.Sprintf("cat%02d", c)
+		for i := 0; i < 10; i++ {
+			addr, err := a.Allocate(visible, 63, cat, rng)
+			if err != nil {
+				t.Fatalf("cat %s session %d: %v", cat, i, err)
+			}
+			visible = append(visible, CategorySession{Addr: addr, TTL: 63, Category: cat})
+		}
+	}
+	bands := a.Layout(visible, 63, "cat00")
+	for i := 1; i < len(bands); i++ {
+		hi, lo := bands[i-1], bands[i]
+		if lo.Start > 0 && lo.Start+lo.Width > hi.Start {
+			t.Fatalf("bands overlap: %+v then %+v", hi, lo)
+		}
+	}
+}

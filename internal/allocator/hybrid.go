@@ -1,0 +1,159 @@
+package allocator
+
+import (
+	"fmt"
+	"math"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// Hybrid is AIPR-H from Figure 12: a hybrid of IPR 7-band and AIPR-1.
+// It keeps IPR-7's seven static TTL bands, but sizes and positions them
+// adaptively:
+//
+//   - the bands initially occupy the top 50% of the address space, with
+//     20% of the space used for inter-band gaps;
+//   - an expanding high-TTL band pushes lower bands downwards;
+//   - a band that is pushed does not move its top below its initial
+//     position unless forced, and when pushed while under 67% occupancy it
+//     is reduced in width rather than displaced further.
+type Hybrid struct {
+	size      uint32
+	occupancy float64
+	seps      []mcast.TTL
+	initTop   []uint32 // initial top (exclusive) per band, descending order
+	initWidth uint32
+	perGap    uint32
+	name      string
+}
+
+// NewHybrid returns an AIPR-H allocator over a space of the given size.
+func NewHybrid(size uint32) *Hybrid {
+	validateSize(size)
+	seps := IPR7Separators()
+	nBands := len(seps) + 1
+	// Top 50% of the space = bands (30%) + gaps (20%).
+	gapBudget := uint32(0.2 * float64(size))
+	perGap := gapBudget / uint32(nBands)
+	bandBudget := size/2 - minU32(gapBudget, size/2)
+	initWidth := bandBudget / uint32(nBands)
+	if initWidth == 0 {
+		initWidth = 1
+	}
+	h := &Hybrid{
+		size:      size,
+		occupancy: DefaultTargetOccupancy,
+		seps:      seps,
+		initWidth: initWidth,
+		perGap:    perGap,
+		name:      "AIPR-H (hybrid)",
+	}
+	// Initial tops, highest band first at the very top of the space.
+	h.initTop = make([]uint32, nBands)
+	cursor := size
+	for i := 0; i < nBands; i++ { // i = 0 is the highest-TTL band
+		h.initTop[i] = cursor
+		next := int64(cursor) - int64(initWidth) - int64(perGap)
+		if next < 0 {
+			next = 0
+		}
+		cursor = uint32(next)
+	}
+	return h
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Name implements Allocator.
+func (h *Hybrid) Name() string { return h.name }
+
+// Size implements Allocator.
+func (h *Hybrid) Size() uint32 { return h.size }
+
+// bandOf mirrors StaticPartitioned.BandOf but numbers bands from the top:
+// band 0 is the highest TTL band.
+func (h *Hybrid) bandOf(t mcast.TTL) int {
+	b := 0
+	for _, s := range h.seps {
+		if t >= s {
+			b++
+		}
+	}
+	return len(h.seps) - b
+}
+
+// Layout computes the seven bands, ordered highest TTL first.
+func (h *Hybrid) Layout(visible []SessionInfo) []Band {
+	nBands := len(h.seps) + 1
+	counts := make([]int, nBands)
+	for _, s := range visible {
+		counts[h.bandOf(s.TTL)]++
+	}
+	bands := make([]Band, nBands)
+	cursor := h.size
+	for i := 0; i < nBands; i++ {
+		top := h.initTop[i]
+		pushed := cursor < top
+		if pushed {
+			top = cursor
+		}
+		var width uint32
+		need := uint32(math.Ceil(float64(counts[i]) / h.occupancy))
+		if need < 1 {
+			need = 1
+		}
+		if pushed {
+			// Pushed from above while under-occupied: shrink to need.
+			width = need
+		} else {
+			// Unpushed: keep at least the initial width.
+			width = need
+			if width < h.initWidth {
+				width = h.initWidth
+			}
+		}
+		if width > top {
+			width = top // clamp at the bottom of the space
+		}
+		start := top - width
+		bands[i] = Band{
+			Class: nBands - 1 - i, // class index ascending with TTL
+			Low:   h.lowTTLOfBand(i),
+			Start: start,
+			Width: width,
+			Count: counts[i],
+		}
+		next := int64(start) - int64(h.perGap)
+		if next < 0 {
+			next = 0
+		}
+		cursor = uint32(next)
+	}
+	return bands
+}
+
+func (h *Hybrid) lowTTLOfBand(i int) mcast.TTL {
+	// Band i counts from the top; band nBands-1 starts at TTL 0.
+	idx := len(h.seps) - i // number of separators below the band
+	if idx == 0 {
+		return 0
+	}
+	return h.seps[idx-1]
+}
+
+// Allocate implements Allocator.
+func (h *Hybrid) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
+	bands := h.Layout(visible)
+	i := h.bandOf(ttl)
+	band := bands[i]
+	if addr, ok := expandingPick(band.Start, band.Width, h.size, newUsedSet(visible), rng); ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("%w (band %d, TTL %d, %s)", ErrSpaceFull, i, ttl, h.name)
+}

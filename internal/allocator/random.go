@@ -1,0 +1,59 @@
+package allocator
+
+import (
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// Random is the paper's algorithm R: pure random allocation, ignoring all
+// announcements. It clashes after O(√n) allocations (the birthday bound of
+// Figure 4) and anchors the bottom of Figure 5.
+type Random struct {
+	size uint32
+}
+
+// NewRandom returns an R allocator over a space of the given size.
+func NewRandom(size uint32) *Random {
+	validateSize(size)
+	return &Random{size: size}
+}
+
+// Name implements Allocator.
+func (r *Random) Name() string { return "R" }
+
+// Size implements Allocator.
+func (r *Random) Size() uint32 { return r.size }
+
+// Allocate implements Allocator: a uniform draw from the whole space.
+func (r *Random) Allocate(_ []SessionInfo, _ mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
+	return mcast.Addr(rng.IntN(int(r.size))), nil
+}
+
+// InformedRandom is the paper's algorithm IR: uniform over the addresses
+// not currently visible in any session announcement. Figure 5's perhaps
+// surprising result is that IR is *not* much better than R: the sessions
+// that matter for clashes are exactly the ones scoping hides.
+type InformedRandom struct {
+	size uint32
+}
+
+// NewInformedRandom returns an IR allocator over a space of the given size.
+func NewInformedRandom(size uint32) *InformedRandom {
+	validateSize(size)
+	return &InformedRandom{size: size}
+}
+
+// Name implements Allocator.
+func (r *InformedRandom) Name() string { return "IR" }
+
+// Size implements Allocator.
+func (r *InformedRandom) Size() uint32 { return r.size }
+
+// Allocate implements Allocator.
+func (r *InformedRandom) Allocate(visible []SessionInfo, _ mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
+	a, ok := pickFreeInRange(0, r.size, newUsedSet(visible), rng)
+	if !ok {
+		return 0, ErrSpaceFull
+	}
+	return a, nil
+}

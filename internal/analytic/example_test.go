@@ -1,0 +1,37 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"sessiondir/internal/analytic"
+)
+
+// The birthday bound behind Figure 4: how many random allocations a
+// 10000-address space survives before a clash becomes more likely than not.
+func ExampleBirthdayMedian() {
+	fmt.Println(analytic.BirthdayMedian(10000))
+	// Output: 119
+}
+
+// Equation 1 (Figure 6): sessions one 8192-address partition sustains at
+// 50% clash probability when 0.1% of sessions are invisibly allocated —
+// the paper's §2.3 anchor (×8 partitions ≈ 16496 total).
+func ExampleAllocationsAtHalf() {
+	m := analytic.AllocationsAtHalf(8192, 0.001)
+	fmt.Println(m, 8*m)
+	// Output: 2061 16488
+}
+
+// Equation 4 (Figure 18): with exponentially distributed response delays,
+// even 51200 potential responders produce ~1.44 expected responses — the
+// constant the paper quotes as 1.442698.
+func ExampleExpResponders() {
+	fmt.Printf("%.6f\n", analytic.ExpResponders(51200, 256))
+	// Output: 1.442698
+}
+
+// The §2.4.1 partition rule of Figure 11.
+func ExamplePartitionCount() {
+	fmt.Println(analytic.PartitionCount(2))
+	// Output: 55
+}

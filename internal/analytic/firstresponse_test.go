@@ -1,0 +1,125 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"sessiondir/internal/stats"
+)
+
+func TestFirstResponseUniform(t *testing.T) {
+	// One responder: expectation is the midpoint.
+	if got := FirstResponseUniform(1, 0, 1000); math.Abs(got-500) > 1e-9 {
+		t.Fatalf("n=1: %v", got)
+	}
+	// Many responders: approaches d1.
+	if got := FirstResponseUniform(999, 100, 1100); math.Abs(got-101) > 1e-9 {
+		t.Fatalf("n=999: %v", got)
+	}
+	if !math.IsInf(FirstResponseUniform(0, 0, 100), 1) {
+		t.Fatal("n=0 should be +Inf")
+	}
+	// Degenerate window.
+	if got := FirstResponseUniform(5, 200, 100); got != 200 {
+		t.Fatalf("inverted window: %v", got)
+	}
+}
+
+func TestFirstResponseUniformMatchesMC(t *testing.T) {
+	rng := stats.NewRNG(1)
+	const n, trials = 7, 20000
+	var s stats.Summary
+	for tr := 0; tr < trials; tr++ {
+		minV := math.Inf(1)
+		for i := 0; i < n; i++ {
+			v := rng.Float64() * 3200
+			if v < minV {
+				minV = v
+			}
+		}
+		s.Add(minV)
+	}
+	want := FirstResponseUniform(n, 0, 3200)
+	if math.Abs(s.Mean()-want) > want*0.03 {
+		t.Fatalf("MC %v vs closed form %v", s.Mean(), want)
+	}
+}
+
+func TestFirstResponseExpMatchesMC(t *testing.T) {
+	// Cross-check the integral against sampling the actual distribution.
+	rng := stats.NewRNG(2)
+	const d1, d2, r = 0.0, 3200.0, 200.0
+	dist := expSampler{d1: d1, d2: d2, r: r}
+	for _, n := range []int{1, 5, 50} {
+		const trials = 20000
+		var s stats.Summary
+		for tr := 0; tr < trials; tr++ {
+			minV := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if v := dist.sample(rng); v < minV {
+					minV = v
+				}
+			}
+			s.Add(minV)
+		}
+		want := FirstResponseExp(n, d1, d2, r)
+		if math.Abs(s.Mean()-want) > want*0.05+5 {
+			t.Fatalf("n=%d: MC %v vs integral %v", n, s.Mean(), want)
+		}
+	}
+}
+
+// expSampler duplicates the clash.ExponentialDelay sampling formula (the
+// analytic package cannot import clash, which depends on it conceptually).
+type expSampler struct{ d1, d2, r float64 }
+
+func (e expSampler) sample(rng *stats.RNG) float64 {
+	d := (e.d2 - e.d1) / e.r
+	x := rng.Float64()
+	if x == 0 {
+		return e.d1
+	}
+	t := d + math.Log2(x)
+	var val float64
+	if t > 50 {
+		val = t
+	} else {
+		val = math.Log2(math.Exp2(t) - x + 1)
+	}
+	return e.d1 + e.r*val
+}
+
+func TestFirstResponseExpSlowerThanUniform(t *testing.T) {
+	// The price of exponential suppression: the first response comes later
+	// than under uniform for the same window.
+	for _, n := range []int{5, 50, 500} {
+		u := FirstResponseUniform(n, 0, 3200)
+		e := FirstResponseExp(n, 0, 3200, 200)
+		if e <= u {
+			t.Fatalf("n=%d: exp (%v) not slower than uniform (%v)", n, e, u)
+		}
+	}
+}
+
+func TestFirstResponseExpDecreasingInN(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		v := FirstResponseExp(n, 0, 3200, 200)
+		if v >= prev {
+			t.Fatalf("not decreasing at n=%d: %v >= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFirstResponseExpEdges(t *testing.T) {
+	if !math.IsInf(FirstResponseExp(0, 0, 100, 200), 1) {
+		t.Fatal("n=0")
+	}
+	if got := FirstResponseExp(5, 100, 100, 200); got != 100 {
+		t.Fatalf("zero window: %v", got)
+	}
+	if got := FirstResponseExp(5, 100, 200, 0); got != 100 {
+		t.Fatalf("zero rtt: %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+// Package analytic implements the closed-form models of the paper: the
+// birthday-problem clash curve (Figure 4), the invisible-allocation clash
+// model of Equation 1 (Figure 6), the uniform-bucket responder bound of
+// Equation 2 (Figure 14), the exponential-bucket responder bound of
+// Equations 3–4 (Figure 18), and the TTL→partition mapping rule of §2.4.1
+// (Figure 11).
+//
+// All combinatorial sums are evaluated in the log domain so the bounds stay
+// exact-enough at the paper's scales (n up to 51200 responders, d up to
+// tens of thousands of buckets) where direct binomials overflow float64.
+package analytic
+
+import "math"
+
+// logChoose returns log C(n, k) computed via log-gamma. It returns -Inf
+// for k outside [0, n].
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk1, _ := math.Lgamma(float64(k + 1))
+	lnk1, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk1 - lnk1
+}
+
+// logPow returns k*log(x) handling the x == 0 cases: 0^0 = 1 (log 0^0 = 0)
+// and 0^k = 0 for k > 0 (log = -Inf).
+func logPow(x float64, k float64) float64 {
+	if x < 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return k * math.Log(x)
+}
+
+// log1mExp returns log(1 - e^x) for x <= 0, numerically stable near 0.
+func log1mExp(x float64) float64 {
+	if x >= 0 {
+		if x == 0 {
+			return math.Inf(-1)
+		}
+		return math.NaN()
+	}
+	if x > -math.Ln2 {
+		return math.Log(-math.Expm1(x))
+	}
+	return math.Log1p(-math.Exp(x))
+}
+
+// logSumExp returns log(e^a + e^b).
+func logSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

@@ -1,0 +1,135 @@
+package analytic
+
+import "math"
+
+// This file implements the responder-implosion bounds of §3: how many
+// third parties report an address clash when each delays its response and
+// suppresses on hearing another response.
+//
+// The model (Equation 2 and Figure 14): the interval [D1, D2] is divided
+// into d buckets of width R (the maximum round trip time). Responses in
+// the first nonempty bucket are all sent — suppression cannot act within
+// one RTT; responses in later buckets are suppressed. With uniform random
+// delays every assignment of n responders to d buckets is equally likely.
+//
+// The exponential variant (Equations 3–4, Figures 17–18): bucket b has
+// probability proportional to 2^(b−1), equivalent to choosing uniformly
+// among 2^d − 1 sub-buckets of which bucket b owns 2^(b−1).
+
+// UniformResponders returns the expected number of responses E for n
+// responders and d equal-probability buckets (Equation 2). The result is
+// an upper bound on real behaviour: it ignores sub-RTT suppression inside
+// a bucket and RTTs shorter than R.
+func UniformResponders(n, d int) float64 {
+	switch {
+	case n <= 0:
+		return 0
+	case d <= 1:
+		return float64(n)
+	}
+	logD := math.Log(float64(d))
+	total := 0.0
+	// E = Σ_k k·C(n,k)·[Σ_{j=0}^{d-1} j^(n−k)] / d^n, where j = d − b.
+	for k := 1; k <= n; k++ {
+		lc := logChoose(n, k)
+		nk := float64(n - k)
+		// Inner sum over j descending: terms fall off geometrically, so
+		// stop once they no longer contribute.
+		inner := math.Inf(-1)
+		for j := d - 1; j >= 0; j-- {
+			term := logPow(float64(j), nk)
+			if !math.IsInf(inner, -1) && term < inner-45 { // e^-45 ~ 3e-20
+				break
+			}
+			inner = logSumExp(inner, term)
+		}
+		logTerm := lc + inner - float64(n)*logD
+		total += float64(k) * math.Exp(logTerm)
+	}
+	return total
+}
+
+// ExpResponders returns the expected number of responses for n responders
+// and d exponentially weighted buckets (Equation 4). As d grows the
+// expectation tends to 1/ln 2 ≈ 1.4427 — the paper's observation that the
+// exponential distribution caps the implosion at a constant independent of
+// group size.
+func ExpResponders(n, d int) float64 {
+	switch {
+	case n <= 0:
+		return 0
+	case d <= 1:
+		return float64(n)
+	}
+	ln2 := math.Ln2
+	df := float64(d)
+	// log(2^d − 1) = d·ln2 + log(1 − 2^−d)
+	logS := df*ln2 + log1mExp(-df*ln2)
+	total := 0.0
+	for b := 1; b <= d; b++ {
+		bf := float64(b)
+		// log(2^d − 2^b) for b < d; −Inf at b = d.
+		var logRest float64
+		if b < d {
+			logRest = df*ln2 + log1mExp((bf-df)*ln2)
+		} else {
+			logRest = math.Inf(-1)
+		}
+		// Terms over k are unimodal: walk up, remember the max, stop once
+		// far past the peak.
+		best := math.Inf(-1)
+		for k := 1; k <= n; k++ {
+			logTerm := logChoose(n, k) +
+				float64(k)*(bf-1)*ln2 -
+				float64(n)*logS
+			// (n−k)·log(2^d − 2^b), honouring 0^0 = 1 at b = d, k = n.
+			if k < n {
+				if math.IsInf(logRest, -1) {
+					continue // (2^d − 2^d)^(n−k) = 0 for k < n
+				}
+				logTerm += float64(n-k) * logRest
+			}
+			if logTerm > best {
+				best = logTerm
+			} else if logTerm < best-45 {
+				break
+			}
+			total += float64(k) * math.Exp(logTerm)
+		}
+	}
+	return total
+}
+
+// ExpRespondersLimit is the d→∞ limit of the expected response count under
+// the exponential delay distribution, 1/ln 2 (the paper quotes 1.442698).
+const ExpRespondersLimit = 1.4426950408889634
+
+// ResponderPoint is one cell of the Figure-14/18 surfaces.
+type ResponderPoint struct {
+	D2Millis  float64 // response window length
+	Receivers int     // n
+	Expected  float64 // expected responses
+}
+
+// ResponderSurface evaluates a responder bound over the Figure-14/18 grid:
+// D2 values (milliseconds) × receiver counts, with bucket width R
+// milliseconds. dist selects the bound: "uniform" (Eq 2) or "exp" (Eq 4).
+func ResponderSurface(d2Millis []float64, receivers []int, rttMillis float64, dist string) []ResponderPoint {
+	var out []ResponderPoint
+	for _, d2 := range d2Millis {
+		d := int(d2 / rttMillis)
+		if d < 1 {
+			d = 1
+		}
+		for _, n := range receivers {
+			var e float64
+			if dist == "exp" {
+				e = ExpResponders(n, d)
+			} else {
+				e = UniformResponders(n, d)
+			}
+			out = append(out, ResponderPoint{D2Millis: d2, Receivers: n, Expected: e})
+		}
+	}
+	return out
+}

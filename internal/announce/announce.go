@@ -1,0 +1,230 @@
+// Package announce implements the announce/listen machinery of a session
+// directory: the listened-session cache with expiry, the exponential
+// back-off re-announcement schedule the paper's §4 recommends, and the
+// SAP bandwidth budget that sets the steady-state announcement interval.
+package announce
+
+import (
+	"time"
+
+	"sessiondir/internal/session"
+)
+
+// DefaultBandwidthBps is the conventional SAP announcement bandwidth
+// budget for a scope (4000 bits/second, shared by all announcers).
+const DefaultBandwidthBps = 4000
+
+// MinInterval is the floor on the steady-state announcement interval
+// (RFC 2974 uses 300 s; with few sessions the budget allows faster but the
+// floor keeps chatter down).
+const MinInterval = 300 * time.Second
+
+// SteadyInterval returns the steady-state re-announcement interval under a
+// shared bandwidth budget: each announcer sends its ad so that the whole
+// population of announcements fits in bandwidthBps.
+//
+//	interval = max(MinInterval, totalAdBytes·8 / bandwidthBps)
+//
+// totalAdBytes is the summed size of all announcements heard in the scope
+// (including our own); this is how every sdr instance independently
+// arrives at a compatible rate.
+func SteadyInterval(totalAdBytes int, bandwidthBps int) time.Duration {
+	if bandwidthBps <= 0 {
+		bandwidthBps = DefaultBandwidthBps
+	}
+	if totalAdBytes < 0 {
+		totalAdBytes = 0
+	}
+	iv := time.Duration(float64(totalAdBytes*8) / float64(bandwidthBps) * float64(time.Second))
+	if iv < MinInterval {
+		return MinInterval
+	}
+	return iv
+}
+
+// Backoff is the paper's non-uniform announcement schedule (§2.3, §4):
+// start from a high announcement rate and exponentially back off to the
+// steady-state rate. The first repeat 5 s after the initial announcement
+// cuts the mean discovery delay from ~12 s to ~0.3 s at 2% loss, improving
+// the invisible-allocation fraction i by more than an order of magnitude.
+type Backoff struct {
+	// Initial is the first re-announcement delay (paper: 5 s).
+	Initial time.Duration
+	// Factor multiplies the delay each round (paper: exponential, 2).
+	Factor float64
+	// Steady caps the delay at the steady-state interval.
+	Steady time.Duration
+}
+
+// DefaultBackoff returns the paper's recommended schedule with the given
+// steady-state interval.
+func DefaultBackoff(steady time.Duration) Backoff {
+	if steady <= 0 {
+		steady = MinInterval
+	}
+	return Backoff{Initial: 5 * time.Second, Factor: 2, Steady: steady}
+}
+
+// IntervalAfter returns the delay between the n-th announcement and the
+// next (n = 0 is the delay after the very first announcement).
+func (b Backoff) IntervalAfter(n int) time.Duration {
+	if b.Initial <= 0 {
+		return b.Steady
+	}
+	f := b.Factor
+	if f < 1 {
+		f = 1
+	}
+	d := float64(b.Initial)
+	for i := 0; i < n; i++ {
+		d *= f
+		if time.Duration(d) >= b.Steady {
+			return b.Steady
+		}
+	}
+	if time.Duration(d) >= b.Steady {
+		return b.Steady
+	}
+	return time.Duration(d)
+}
+
+// MeanDiscoveryDelay estimates the mean time for a receiver to learn of a
+// new session under this schedule with per-packet loss rate p and network
+// delay d: the first packet arrives with probability 1−p, otherwise the
+// k-th retransmission wins. Used by the ablation benchmarks to connect the
+// schedule to the allocator's invisible fraction.
+func (b Backoff) MeanDiscoveryDelay(loss, networkDelay float64) float64 {
+	mean := 0.0
+	pNone := 1.0
+	elapsed := 0.0
+	for k := 0; k < 64; k++ {
+		mean += pNone * (1 - loss) * (elapsed + networkDelay)
+		pNone *= loss
+		elapsed += b.IntervalAfter(k).Seconds()
+		if pNone < 1e-12 {
+			break
+		}
+	}
+	return mean
+}
+
+// Entry is one cached session announcement.
+type Entry struct {
+	Desc       *session.Description
+	FirstHeard time.Time
+	LastHeard  time.Time
+	// Deleted marks an explicit SAP deletion (kept briefly to squelch
+	// stale re-announcements from slow caches).
+	Deleted bool
+}
+
+// Cache is the listened-session store. It is not safe for concurrent use;
+// the directory agent serialises access.
+type Cache struct {
+	entries map[string]*Entry
+	// Timeout evicts sessions not re-announced for this long. RFC 2974
+	// uses max(1 h, 10×interval).
+	Timeout time.Duration
+}
+
+// NewCache returns an empty cache with the given expiry timeout
+// (0 = one hour).
+func NewCache(timeout time.Duration) *Cache {
+	if timeout <= 0 {
+		timeout = time.Hour
+	}
+	return &Cache{entries: make(map[string]*Entry), Timeout: timeout}
+}
+
+// Observe records an announcement, returning the entry and whether the
+// session (or a new version of it) was previously unknown.
+func (c *Cache) Observe(d *session.Description, now time.Time) (*Entry, bool) {
+	key := d.Key()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &Entry{Desc: d, FirstHeard: now, LastHeard: now}
+		c.entries[key] = e
+		return e, true
+	}
+	fresh := d.Version > e.Desc.Version || e.Deleted
+	if d.Version >= e.Desc.Version {
+		e.Desc = d
+		e.Deleted = false
+	}
+	e.LastHeard = now
+	return e, fresh
+}
+
+// Delete marks a session deleted (explicit SAP deletion packet).
+func (c *Cache) Delete(key string, now time.Time) {
+	if e, ok := c.entries[key]; ok {
+		e.Deleted = true
+		e.LastHeard = now
+	}
+}
+
+// Get returns a live (non-deleted) entry.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	e, ok := c.entries[key]
+	if !ok || e.Deleted {
+		return nil, false
+	}
+	return e, true
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, e := range c.entries {
+		if !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire evicts entries unheard for Timeout (and deleted entries unheard
+// for Timeout/10), returning the evicted keys.
+func (c *Cache) Expire(now time.Time) []string {
+	var evicted []string
+	for key, e := range c.entries {
+		limit := c.Timeout
+		if e.Deleted {
+			limit = c.Timeout / 10
+		}
+		if now.Sub(e.LastHeard) > limit {
+			delete(c.entries, key)
+			evicted = append(evicted, key)
+		}
+	}
+	return evicted
+}
+
+// Live returns all live entries (iteration order unspecified).
+func (c *Cache) Live() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		if !e.Deleted {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TotalAdBytes estimates the summed announcement size of live entries for
+// the bandwidth budget. Descriptions are re-marshalled lazily; failures
+// (invalid cached descriptions) count a nominal size.
+func (c *Cache) TotalAdBytes() int {
+	total := 0
+	for _, e := range c.entries {
+		if e.Deleted {
+			continue
+		}
+		if data, err := e.Desc.MarshalSDP(); err == nil {
+			total += len(data) + 8 // + SAP header
+		} else {
+			total += 256
+		}
+	}
+	return total
+}

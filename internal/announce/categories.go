@@ -1,0 +1,154 @@
+package announce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+// This file implements the §4 proposal for scaling *session announcement*
+// (as opposed to address allocation): "dynamically allocate new
+// announcement addresses for certain categories of announcement, and only
+// announce the existence of the category on the base session directory
+// address ... allow[ing] receivers to decide the categories for which they
+// receive announcements, and hence the bandwidth used by the session
+// directory." (The paper notes this is impossible while announcements
+// double as address reservations; it becomes possible once allocation is
+// separated, e.g. by the §4.1 prefix layer.)
+
+// CategoryMap deterministically assigns each announcement category its own
+// sub-group within a dedicated block, so every directory derives the same
+// category→group mapping with no coordination. The base group carries
+// category-existence announcements only.
+type CategoryMap struct {
+	space mcast.AddrSpace
+}
+
+// NewCategoryMap returns a mapper over the given block. The block must
+// hold at least two addresses (the base group plus one category group).
+func NewCategoryMap(space mcast.AddrSpace) (*CategoryMap, error) {
+	if space.Size < 2 {
+		return nil, fmt.Errorf("announce: category block of %d addresses is too small", space.Size)
+	}
+	return &CategoryMap{space: space}, nil
+}
+
+// BaseGroup is where category existence is announced.
+func (m *CategoryMap) BaseGroup() mcast.Addr { return 0 }
+
+// GroupFor hashes a category name to its announcement sub-group, never the
+// base group. Equal names map to equal groups on every host (FNV-1a).
+func (m *CategoryMap) GroupFor(category string) mcast.Addr {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(category); i++ {
+		h ^= uint64(category[i])
+		h *= prime64
+	}
+	return mcast.Addr(1 + h%(uint64(m.space.Size)-1))
+}
+
+// Groups returns the concrete multicast group of a category (and the base
+// group) for wiring into transports.
+func (m *CategoryMap) Group(category string) (base, cat mcast.Addr) {
+	return m.BaseGroup(), m.GroupFor(category)
+}
+
+// CategoryEntry is one known category on the base channel.
+type CategoryEntry struct {
+	Name      string
+	Group     mcast.Addr
+	FirstSeen time.Time
+	LastSeen  time.Time
+	// Sessions is the advertised session count, letting receivers weigh
+	// subscription cost.
+	Sessions int
+}
+
+// CategoryRegistry tracks the categories announced on the base channel —
+// the receiver-side "which announcement groups exist" view. Not safe for
+// concurrent use.
+type CategoryRegistry struct {
+	m       *CategoryMap
+	entries map[string]*CategoryEntry
+	// Timeout expires categories not re-announced (0 = one hour).
+	Timeout time.Duration
+}
+
+// NewCategoryRegistry returns an empty registry over the map.
+func NewCategoryRegistry(m *CategoryMap, timeout time.Duration) *CategoryRegistry {
+	if timeout <= 0 {
+		timeout = time.Hour
+	}
+	return &CategoryRegistry{m: m, entries: make(map[string]*CategoryEntry), Timeout: timeout}
+}
+
+// Observe records a category-existence announcement.
+func (r *CategoryRegistry) Observe(name string, sessions int, now time.Time) *CategoryEntry {
+	e, ok := r.entries[name]
+	if !ok {
+		e = &CategoryEntry{
+			Name:      name,
+			Group:     r.m.GroupFor(name),
+			FirstSeen: now,
+		}
+		r.entries[name] = e
+	}
+	e.LastSeen = now
+	if sessions >= 0 {
+		e.Sessions = sessions
+	}
+	return e
+}
+
+// Get returns a known category.
+func (r *CategoryRegistry) Get(name string) (*CategoryEntry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Expire drops categories unheard for Timeout, returning the dropped names.
+func (r *CategoryRegistry) Expire(now time.Time) []string {
+	var out []string
+	for name, e := range r.entries {
+		if now.Sub(e.LastSeen) > r.Timeout {
+			delete(r.entries, name)
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Categories lists known categories sorted by name.
+func (r *CategoryRegistry) Categories() []*CategoryEntry {
+	out := make([]*CategoryEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SubscriptionBandwidth estimates the announcement bandwidth (bits/second)
+// a receiver pays for a set of category subscriptions, given mean ad size:
+// the §4 point that category channels let receivers control their cost.
+// Each category's sessions re-announce at the steady interval its own
+// population implies.
+func (r *CategoryRegistry) SubscriptionBandwidth(categories []string, meanAdBytes int) float64 {
+	total := 0.0
+	for _, name := range categories {
+		e, ok := r.entries[name]
+		if !ok {
+			continue
+		}
+		iv := SteadyInterval(e.Sessions*meanAdBytes, DefaultBandwidthBps)
+		total += float64(e.Sessions*meanAdBytes*8) / iv.Seconds()
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package announce
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+func catMap(t *testing.T, size uint32) *CategoryMap {
+	t.Helper()
+	m, err := NewCategoryMap(mcast.SyntheticSpace(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCategoryMapValidation(t *testing.T) {
+	if _, err := NewCategoryMap(mcast.SyntheticSpace(1)); err == nil {
+		t.Fatal("one-address block accepted")
+	}
+}
+
+func TestCategoryMapStableAndNonBase(t *testing.T) {
+	m := catMap(t, 256)
+	if m.BaseGroup() != 0 {
+		t.Fatal("base group moved")
+	}
+	err := quick.Check(func(name string) bool {
+		g1 := m.GroupFor(name)
+		g2 := m.GroupFor(name)
+		return g1 == g2 && g1 != m.BaseGroup() && uint32(g1) < 256
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, cat := m.Group("music")
+	if base != 0 || cat == 0 {
+		t.Fatal("Group accessors")
+	}
+}
+
+func TestCategoryMapSpread(t *testing.T) {
+	// Different categories should spread across the block, not pile up.
+	m := catMap(t, 1024)
+	seen := map[mcast.Addr]int{}
+	names := []string{"music", "talks", "ietf", "nasa", "sports", "lectures",
+		"radio", "tv", "conferences", "seminars", "demos", "testing"}
+	for _, n := range names {
+		seen[m.GroupFor(n)]++
+	}
+	if len(seen) < len(names)-1 { // allow one hash collision at most
+		t.Fatalf("only %d distinct groups for %d categories", len(seen), len(names))
+	}
+}
+
+func TestCategoryRegistryLifecycle(t *testing.T) {
+	m := catMap(t, 256)
+	r := NewCategoryRegistry(m, 10*time.Minute)
+	now := time.Unix(0, 0)
+	e := r.Observe("music", 12, now)
+	if e.Group != m.GroupFor("music") || e.Sessions != 12 {
+		t.Fatalf("entry %+v", e)
+	}
+	// Update keeps identity, refreshes counts.
+	e2 := r.Observe("music", 15, now.Add(time.Minute))
+	if e2 != e || e.Sessions != 15 {
+		t.Fatal("update should mutate the same entry")
+	}
+	// Negative session count means "unknown": keep the old value.
+	r.Observe("music", -1, now.Add(2*time.Minute))
+	if e.Sessions != 15 {
+		t.Fatal("unknown count clobbered the old value")
+	}
+	if _, ok := r.Get("music"); !ok {
+		t.Fatal("Get miss")
+	}
+	if _, ok := r.Get("absent"); ok {
+		t.Fatal("Get hit for absent")
+	}
+	r.Observe("talks", 3, now.Add(9*time.Minute))
+	expired := r.Expire(now.Add(13 * time.Minute))
+	if len(expired) != 1 || expired[0] != "music" {
+		t.Fatalf("expired %v", expired)
+	}
+	cats := r.Categories()
+	if len(cats) != 1 || cats[0].Name != "talks" {
+		t.Fatalf("categories %v", cats)
+	}
+}
+
+func TestSubscriptionBandwidth(t *testing.T) {
+	m := catMap(t, 256)
+	r := NewCategoryRegistry(m, 0)
+	now := time.Unix(0, 0)
+	r.Observe("small", 10, now)
+	r.Observe("large", 5000, now)
+	small := r.SubscriptionBandwidth([]string{"small"}, 300)
+	large := r.SubscriptionBandwidth([]string{"large"}, 300)
+	both := r.SubscriptionBandwidth([]string{"small", "large"}, 300)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("bandwidths %v %v", small, large)
+	}
+	if large <= small {
+		t.Fatal("large category should cost more")
+	}
+	if both < large {
+		t.Fatal("subscribing to more should not cost less")
+	}
+	// Large categories are bounded by the shared budget: the steady
+	// interval stretches so the channel stays near DefaultBandwidthBps.
+	if large > DefaultBandwidthBps*1.05 {
+		t.Fatalf("large category exceeds its channel budget: %v", large)
+	}
+	// Unknown categories cost nothing.
+	if r.SubscriptionBandwidth([]string{"nope"}, 300) != 0 {
+		t.Fatal("unknown category has a cost")
+	}
+}

@@ -1,0 +1,336 @@
+package clash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sessiondir/internal/stats"
+)
+
+func TestUniformDelayBounds(t *testing.T) {
+	u := NewUniformDelay(200, 800)
+	rng := stats.NewRNG(1)
+	var s stats.Summary
+	for i := 0; i < 20000; i++ {
+		d := u.Sample(rng)
+		if d < 200 || d > 800 {
+			t.Fatalf("delay %v outside window", d)
+		}
+		s.Add(d)
+	}
+	if math.Abs(s.Mean()-500) > 10 {
+		t.Fatalf("mean %v, want ~500", s.Mean())
+	}
+	if u.Name() != "uniform" {
+		t.Fatal("name")
+	}
+	d1, d2 := u.Window()
+	if d1 != 200 || d2 != 800 {
+		t.Fatal("window")
+	}
+}
+
+func TestUniformDelayValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniformDelay(500, 100)
+}
+
+func TestExponentialDelayBounds(t *testing.T) {
+	e := NewExponentialDelay(0, 3200, 200)
+	rng := stats.NewRNG(2)
+	for i := 0; i < 20000; i++ {
+		d := e.Sample(rng)
+		if d < 0 || d > 3200+1e-9 {
+			t.Fatalf("delay %v outside window", d)
+		}
+	}
+}
+
+func TestExponentialDelaySkewsLate(t *testing.T) {
+	// The whole point: early buckets are exponentially unlikely. The
+	// probability of landing in the first half of the window must be far
+	// below 1/2.
+	e := NewExponentialDelay(0, 3200, 200)
+	rng := stats.NewRNG(3)
+	const n = 50000
+	early := 0
+	for i := 0; i < n; i++ {
+		if e.Sample(rng) < 1600 {
+			early++
+		}
+	}
+	frac := float64(early) / n
+	// P(D < D2/2) = (2^(d/2)−1)/(2^d−1) ≈ 2^(−d/2) = 2⁻⁸ here.
+	if frac > 0.02 {
+		t.Fatalf("first-half fraction %v, want ≈2^-8", frac)
+	}
+}
+
+func TestExponentialDelayMatchesBucketWeights(t *testing.T) {
+	// With d buckets, bucket b should receive ≈ 2^(b-1)/(2^d −1) of the
+	// samples.
+	e := NewExponentialDelay(0, 800, 200) // d = 4
+	rng := stats.NewRNG(4)
+	const n = 200000
+	var counts [4]int
+	for i := 0; i < n; i++ {
+		b := int(e.Sample(rng) / 200)
+		if b == 4 {
+			b = 3 // boundary value
+		}
+		counts[b]++
+	}
+	total := float64(1<<4 - 1)
+	for b := 0; b < 4; b++ {
+		want := math.Exp2(float64(b)) / total
+		got := float64(counts[b]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bucket %d: got %v want %v", b, got, want)
+		}
+	}
+}
+
+func TestExponentialDelayLargeD2Stable(t *testing.T) {
+	// d = 65536 buckets: must not overflow to +Inf.
+	e := NewExponentialDelay(0, 13107200, 200)
+	rng := stats.NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		d := e.Sample(rng)
+		if math.IsInf(d, 0) || math.IsNaN(d) || d < 0 || d > 13107200 {
+			t.Fatalf("unstable sample %v", d)
+		}
+	}
+}
+
+func TestExponentialDelayPropertyInWindow(t *testing.T) {
+	err := quick.Check(func(seed uint64, d1Raw, spanRaw uint16) bool {
+		d1 := float64(d1Raw)
+		d2 := d1 + float64(spanRaw) + 1
+		e := NewExponentialDelay(d1, d2, 200)
+		d := e.Sample(stats.NewRNG(seed))
+		return d >= d1 && d <= d2+1e-6
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	if got := NewExponentialDelay(0, 800, 200).Buckets(); got != 4 {
+		t.Fatalf("buckets = %d", got)
+	}
+	if got := NewExponentialDelay(0, 100, 200).Buckets(); got != 1 {
+		t.Fatalf("buckets = %d", got)
+	}
+}
+
+func TestMillis(t *testing.T) {
+	if Millis(1500).Milliseconds() != 1500 {
+		t.Fatal("Millis conversion")
+	}
+}
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	return NewTracker(TrackerConfig{
+		RecentWindow: 1000,
+		Delay:        NewExponentialDelay(0, 3200, 200),
+	}, stats.NewRNG(42))
+}
+
+func TestTrackerPhase1DefendLongStanding(t *testing.T) {
+	tr := newTracker(t)
+	tr.AnnounceOwn("ours", 7, 127, 0)
+	// Long after our announcement, an intruder shows up on our address.
+	acts := tr.Observe(Observation{Key: "intruder", Addr: 7, TTL: 127, At: 5000})
+	if len(acts) != 1 || acts[0].Kind != ActionResendOwn || acts[0].Key != "ours" {
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestTrackerPhase2MoveWhenRecent(t *testing.T) {
+	tr := newTracker(t)
+	tr.AnnounceOwn("ours", 7, 127, 0)
+	// Within the recent window: we lose the race and must move.
+	acts := tr.Observe(Observation{Key: "rival", Addr: 7, TTL: 127, At: 500})
+	if len(acts) != 1 || acts[0].Kind != ActionModifyAddress || acts[0].Key != "ours" {
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestTrackerPhase3ThirdPartyDefense(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	acts := tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 100})
+	if len(acts) != 0 {
+		t.Fatalf("third party should not act immediately: %+v", acts)
+	}
+	if tr.PendingDefenses() != 1 {
+		t.Fatalf("pending = %d", tr.PendingDefenses())
+	}
+	// Before the timer: nothing due.
+	if due := tr.Due(100); len(due) != 0 {
+		t.Fatalf("premature due: %+v", due)
+	}
+	// Long after the window: defense fires for the *older* session.
+	due := tr.Due(100 + 3200 + 1)
+	if len(due) != 1 || due[0].Kind != ActionDefendOther || due[0].Key != "old" {
+		t.Fatalf("due = %+v", due)
+	}
+	// One-shot.
+	if due := tr.Due(1e9); len(due) != 0 {
+		t.Fatalf("defense fired twice: %+v", due)
+	}
+}
+
+func TestTrackerDefenseCancelledByReannouncement(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 100})
+	// The original owner re-announces at the same address: suppression.
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 200})
+	if due := tr.Due(1e9); len(due) != 0 {
+		t.Fatalf("cancelled defense fired: %+v", due)
+	}
+}
+
+func TestTrackerDefenseCancelledByIntruderMoving(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 100})
+	// The newcomer re-announces at a different address: clash resolved.
+	tr.Observe(Observation{Key: "new", Addr: 10, TTL: 63, At: 300})
+	if due := tr.Due(1e9); len(due) != 0 {
+		t.Fatalf("cancelled defense fired: %+v", due)
+	}
+}
+
+func TestTrackerNoDuplicateDefenses(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 100})
+	// Hearing the same clashing announcement again must not stack timers.
+	tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 700})
+	if got := tr.PendingDefenses(); got != 1 {
+		t.Fatalf("pending = %d, want 1", got)
+	}
+}
+
+func TestTrackerMovedSessionClashesAgain(t *testing.T) {
+	tr := newTracker(t)
+	tr.AnnounceOwn("ours", 5, 63, 0)
+	tr.Observe(Observation{Key: "other", Addr: 4, TTL: 63, At: 10})
+	// "other" moves onto our address much later: phase 1 defense.
+	acts := tr.Observe(Observation{Key: "other", Addr: 5, TTL: 63, At: 5000})
+	if len(acts) != 1 || acts[0].Kind != ActionResendOwn {
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestTrackerOwnAddressChangeCancelsDefense(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	// We announce a clashing session... as a third party's cache sees it.
+	tr.Observe(Observation{Key: "mine", Addr: 9, TTL: 63, At: 50})
+	if tr.PendingDefenses() != 1 {
+		t.Fatalf("pending = %d", tr.PendingDefenses())
+	}
+	// Now the tracker's site takes ownership of "mine" and moves it.
+	tr.AnnounceOwn("mine", 11, 63, 100)
+	if due := tr.Due(1e9); len(due) != 0 {
+		t.Fatalf("defense fired after intruder moved: %+v", due)
+	}
+}
+
+func TestTrackerForget(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "old", Addr: 9, TTL: 63, At: 0})
+	tr.Observe(Observation{Key: "new", Addr: 9, TTL: 63, At: 100})
+	tr.Forget("old")
+	if _, ok := tr.CachedAddr("old"); ok {
+		t.Fatal("forgot session still cached")
+	}
+	if due := tr.Due(1e9); len(due) != 0 {
+		t.Fatalf("defense for forgotten session fired: %+v", due)
+	}
+}
+
+func TestTrackerCachedAddr(t *testing.T) {
+	tr := newTracker(t)
+	tr.Observe(Observation{Key: "s", Addr: 3, TTL: 15, At: 0})
+	if a, ok := tr.CachedAddr("s"); !ok || a != 3 {
+		t.Fatalf("CachedAddr = %v %v", a, ok)
+	}
+	if _, ok := tr.CachedAddr("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+// TestTrackerMutualLongStandingTieBreak: after a partition heals, both
+// owners are long-standing. Repeated mutual defenses must converge via the
+// deterministic tie-break: the lexicographically larger key moves.
+func TestTrackerMutualLongStandingTieBreak(t *testing.T) {
+	mk := func(ownKey SessionKey) *Tracker {
+		tr := newTracker(t)
+		tr.AnnounceOwn(ownKey, 7, 191, 0)
+		return tr
+	}
+	loser := mk("zzz") // larger key: must eventually move
+	winner := mk("aaa")
+
+	// Each observes the other's (unchanging) re-announcements.
+	now := 100000.0
+	var loserMoved, winnerMoved bool
+	for round := 0; round < 6; round++ {
+		for _, a := range loser.Observe(Observation{Key: "aaa", Addr: 7, TTL: 191, At: now}) {
+			if a.Kind == ActionModifyAddress {
+				loserMoved = true
+			}
+		}
+		for _, a := range winner.Observe(Observation{Key: "zzz", Addr: 7, TTL: 191, At: now}) {
+			if a.Kind == ActionModifyAddress {
+				winnerMoved = true
+			}
+		}
+		now += 1000
+	}
+	if !loserMoved {
+		t.Fatal("larger-key owner never moved: stand-off live-lock")
+	}
+	if winnerMoved {
+		t.Fatal("smaller-key owner moved: both sides lost the tie-break")
+	}
+	// Once the loser moves, its counters reset.
+	loser.AnnounceOwn("zzz", 8, 191, now)
+	if got := loser.PendingDefenses(); got != 0 {
+		t.Fatalf("pending after move: %d", got)
+	}
+}
+
+func TestTrackerRequiresDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTracker(TrackerConfig{RecentWindow: 10}, stats.NewRNG(1))
+}
+
+func TestActionKindString(t *testing.T) {
+	for k, want := range map[ActionKind]string{
+		ActionNone:          "none",
+		ActionResendOwn:     "resend-own",
+		ActionModifyAddress: "modify-address",
+		ActionDefendOther:   "defend-other",
+		ActionKind(99):      "ActionKind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d: %q want %q", int(k), got, want)
+		}
+	}
+}

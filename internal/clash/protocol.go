@@ -1,0 +1,352 @@
+package clash
+
+import (
+	"fmt"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// This file implements the three-phase clash detection and correction
+// protocol of §3:
+//
+//  1. a site that has had a session announced *for some time* and discovers
+//     a clash re-sends its announcement immediately (it defends; this only
+//     happens after e.g. a network partition heals);
+//  2. a site that *just* announced a session and sees a clashing
+//     announcement within a small window immediately re-announces with a
+//     modified address (propagation-delay races are resolved against the
+//     newcomer, so existing sessions are never disrupted);
+//  3. a third party that owns neither session waits a randomly chosen
+//     delay and, if nobody else has responded, re-announces the older
+//     session on behalf of its originator (defence against cache failures
+//     and partitions separating the two announcers).
+
+// SessionKey identifies a session independent of its current address
+// (origin host + message id in SAP terms).
+type SessionKey string
+
+// ActionKind enumerates the protocol's possible reactions to a clash.
+type ActionKind int
+
+const (
+	// ActionNone: no reaction required.
+	ActionNone ActionKind = iota
+	// ActionResendOwn: phase 1 — immediately re-announce our own
+	// long-standing session to defend its address.
+	ActionResendOwn
+	// ActionModifyAddress: phase 2 — we are the recent announcer; pick a
+	// new address and re-announce.
+	ActionModifyAddress
+	// ActionDefendOther: phase 3 — re-announce another site's session on
+	// its behalf (after the suppression delay has elapsed undisturbed).
+	ActionDefendOther
+)
+
+// String implements fmt.Stringer for readable test failures and logs.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionNone:
+		return "none"
+	case ActionResendOwn:
+		return "resend-own"
+	case ActionModifyAddress:
+		return "modify-address"
+	case ActionDefendOther:
+		return "defend-other"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is a protocol reaction: Kind tells what to do for session Key;
+// DueAt (milliseconds on the caller's timeline) tells when — immediate
+// actions carry the observation time.
+type Action struct {
+	Kind  ActionKind
+	Key   SessionKey
+	DueAt float64
+}
+
+// Observation is one received session announcement.
+type Observation struct {
+	Key  SessionKey
+	Addr mcast.Addr
+	TTL  mcast.TTL
+	At   float64 // receipt time, milliseconds
+}
+
+// TrackerConfig parameterises a Tracker.
+type TrackerConfig struct {
+	// RecentWindow is the §3 "small time window" (ms) within which our own
+	// announcement counts as "just announced", making us the mover in a
+	// propagation-delay race. A few announcement intervals is sensible.
+	RecentWindow float64
+	// Delay is the third-party suppression delay distribution. The paper's
+	// conclusion: use ExponentialDelay so the responder count stays ~1–2
+	// regardless of how many third parties saw the clash.
+	Delay DelayDist
+}
+
+type cacheEntry struct {
+	addr         mcast.Addr
+	ttl          mcast.TTL
+	firstSeen    float64
+	lastSeen     float64
+	owned        bool
+	ownFirstSent float64
+}
+
+type pendingDefense struct {
+	defended SessionKey // the older session we will re-announce
+	intruder SessionKey // the newer session whose move cancels the defense
+	dueAt    float64
+	done     bool
+}
+
+// Tracker is the per-site clash protocol state machine. It consumes
+// announcement observations (including echoes of the site's own
+// announcements) and produces Actions. Not safe for concurrent use; the
+// directory agent serialises access.
+type Tracker struct {
+	cfg     TrackerConfig
+	rng     *stats.RNG
+	cache   map[SessionKey]*cacheEntry
+	pending []*pendingDefense
+	// defenses counts phase-1 re-announcements per (ours, intruder) pair,
+	// for the post-partition tie-break (see checkClash).
+	defenses map[defensePair]int
+}
+
+type defensePair struct {
+	ours, intruder SessionKey
+}
+
+// NewTracker returns a Tracker. rng drives the suppression delays.
+func NewTracker(cfg TrackerConfig, rng *stats.RNG) *Tracker {
+	if cfg.Delay == nil {
+		panic("clash: TrackerConfig.Delay is required")
+	}
+	if cfg.RecentWindow < 0 {
+		panic("clash: negative RecentWindow")
+	}
+	return &Tracker{
+		cfg:      cfg,
+		rng:      rng,
+		cache:    make(map[SessionKey]*cacheEntry),
+		defenses: make(map[defensePair]int),
+	}
+}
+
+// AnnounceOwn records that this site announced its own session. Call it
+// for the first announcement and for address changes.
+func (t *Tracker) AnnounceOwn(key SessionKey, addr mcast.Addr, ttl mcast.TTL, at float64) {
+	e := t.cache[key]
+	if e == nil {
+		e = &cacheEntry{firstSeen: at, ownFirstSent: at}
+		t.cache[key] = e
+	}
+	if !e.owned {
+		e.owned = true
+		e.ownFirstSent = at
+	}
+	if e.addr != addr {
+		// Address change: any defense waiting on this key moving is done.
+		t.cancelDefensesForIntruder(key)
+		t.clearDefenseCounters(key)
+	}
+	e.addr = addr
+	e.ttl = ttl
+	e.lastSeen = at
+}
+
+// Forget drops a session (deleted or expired) from the cache.
+func (t *Tracker) Forget(key SessionKey) {
+	delete(t.cache, key)
+	t.clearDefenseCounters(key)
+	for _, p := range t.pending {
+		if p.defended == key || p.intruder == key {
+			p.done = true
+		}
+	}
+}
+
+// CachedAddr returns the cached address of a session.
+func (t *Tracker) CachedAddr(key SessionKey) (mcast.Addr, bool) {
+	if e, ok := t.cache[key]; ok {
+		return e.addr, true
+	}
+	return 0, false
+}
+
+// Observe processes a received announcement and returns any immediate
+// actions (phase 1 and 2). Phase-3 defenses are scheduled internally and
+// surface later through Due.
+func (t *Tracker) Observe(obs Observation) []Action {
+	var actions []Action
+
+	// A re-announcement of a session we were waiting to defend, or an
+	// address change by an intruder, resolves pending defenses.
+	if e, ok := t.cache[obs.Key]; ok {
+		moved := e.addr != obs.Addr
+		if moved {
+			// The session moved to a new address.
+			t.cancelDefensesForIntruder(obs.Key)
+			t.clearDefenseCounters(obs.Key)
+		} else {
+			// Re-announcement at the same address: its owner is alive, so
+			// nobody needs to defend it on its behalf.
+			t.cancelDefensesFor(obs.Key)
+		}
+		e.addr = obs.Addr
+		e.ttl = obs.TTL
+		e.lastSeen = obs.At
+		switch {
+		case e.owned:
+			actions = append(actions, t.reactAsOwner(e, obs)...)
+		case moved:
+			// Check the moved session against the whole cache.
+			actions = append(actions, t.checkClash(obs, false)...)
+		default:
+			// An unchanged re-announcement adds nothing for third parties
+			// (no defense re-arm), but it *is* news to an owner whose
+			// session it still clashes with: the mutual-defense stand-off
+			// after a partition heal advances through exactly these
+			// re-announcements, so run the owner-only check.
+			actions = append(actions, t.checkClash(obs, true)...)
+		}
+		return actions
+	}
+
+	// New session.
+	t.cache[obs.Key] = &cacheEntry{
+		addr:      obs.Addr,
+		ttl:       obs.TTL,
+		firstSeen: obs.At,
+		lastSeen:  obs.At,
+	}
+	return t.checkClash(obs, false)
+}
+
+// reactAsOwner handles echoes of our own session (typically no-ops).
+func (t *Tracker) reactAsOwner(_ *cacheEntry, _ Observation) []Action { return nil }
+
+// checkClash looks for cache entries holding the same address as obs and
+// reacts per the three phases. With ownedOnly set, only owner reactions
+// (phases 1–2) fire; third-party defenses are not (re-)scheduled.
+func (t *Tracker) checkClash(obs Observation, ownedOnly bool) []Action {
+	var actions []Action
+	for key, e := range t.cache {
+		if key == obs.Key || e.addr != obs.Addr {
+			continue
+		}
+		if ownedOnly && !e.owned {
+			continue
+		}
+		switch {
+		case e.owned && obs.At-e.ownFirstSent > t.cfg.RecentWindow:
+			// Phase 1: our long-standing session is being squatted — defend.
+			// After a healed partition *both* sessions can be long-standing,
+			// and mutual defense would live-lock; the paper leaves this case
+			// open ("existing sessions can only be disrupted by other
+			// existing sessions that had not been known due to network
+			// partitioning"). After two fruitless defenses we apply a
+			// deterministic tie-break both sides compute identically —
+			// the lexicographically larger session key moves (the rule
+			// MADCAP-era allocators converged on).
+			pair := defensePair{ours: key, intruder: obs.Key}
+			t.defenses[pair]++
+			if t.defenses[pair] > 2 && key > obs.Key {
+				actions = append(actions, Action{Kind: ActionModifyAddress, Key: key, DueAt: obs.At})
+			} else {
+				actions = append(actions, Action{Kind: ActionResendOwn, Key: key, DueAt: obs.At})
+			}
+		case e.owned:
+			// Phase 2: we just announced and lost the race — move.
+			actions = append(actions, Action{Kind: ActionModifyAddress, Key: key, DueAt: obs.At})
+		default:
+			// Phase 3: third party. Defend the *older* entry after a
+			// suppression delay, unless already pending for this pair.
+			older, newer := key, obs.Key
+			if t.cache[older].firstSeen > t.cache[newer].firstSeen {
+				older, newer = newer, older
+			}
+			if !t.hasPending(older, newer) {
+				t.pending = append(t.pending, &pendingDefense{
+					defended: older,
+					intruder: newer,
+					dueAt:    obs.At + t.cfg.Delay.Sample(t.rng),
+				})
+			}
+		}
+	}
+	return actions
+}
+
+func (t *Tracker) hasPending(defended, intruder SessionKey) bool {
+	for _, p := range t.pending {
+		if !p.done && p.defended == defended && p.intruder == intruder {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tracker) cancelDefensesFor(defended SessionKey) {
+	for _, p := range t.pending {
+		if p.defended == defended {
+			p.done = true
+		}
+	}
+}
+
+func (t *Tracker) cancelDefensesForIntruder(intruder SessionKey) {
+	for _, p := range t.pending {
+		if p.intruder == intruder {
+			p.done = true
+		}
+	}
+}
+
+// clearDefenseCounters resets phase-1 tie-break state involving key, used
+// whenever that session moves or vanishes (the stand-off is over).
+func (t *Tracker) clearDefenseCounters(key SessionKey) {
+	for pair := range t.defenses {
+		if pair.ours == key || pair.intruder == key {
+			delete(t.defenses, pair)
+		}
+	}
+}
+
+// Due returns the phase-3 defenses whose suppression delay has elapsed
+// without cancellation, marking them done. The caller re-announces the
+// returned sessions on behalf of their originators.
+func (t *Tracker) Due(now float64) []Action {
+	var out []Action
+	kept := t.pending[:0]
+	for _, p := range t.pending {
+		switch {
+		case p.done:
+			// drop
+		case p.dueAt <= now:
+			p.done = true
+			out = append(out, Action{Kind: ActionDefendOther, Key: p.defended, DueAt: p.dueAt})
+		default:
+			kept = append(kept, p)
+		}
+	}
+	t.pending = kept
+	return out
+}
+
+// PendingDefenses reports how many undelivered phase-3 timers exist
+// (introspection for tests).
+func (t *Tracker) PendingDefenses() int {
+	n := 0
+	for _, p := range t.pending {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package clash
+
+import (
+	"fmt"
+
+	"sessiondir/internal/stats"
+)
+
+// This file implements §3.1's alternative responder-selection strategies,
+// beyond changing the delay distribution:
+//
+//   - restrict the *initial* responder set to the sites that are actually
+//     announcing sessions (their number is known, they are spread through
+//     the network); everyone else starts after the announcers' window by
+//     setting D1 to the announcers' D2;
+//   - arbitrarily rank the sites and derive each site's delay from its
+//     rank, removing randomness entirely.
+
+// OffsetDelay wraps a distribution, shifting its window by a constant —
+// the "non-announcers respond later" tier.
+type OffsetDelay struct {
+	Base   DelayDist
+	Offset float64 // milliseconds added to every sample
+}
+
+// NewOffsetDelay validates and builds an OffsetDelay.
+func NewOffsetDelay(base DelayDist, offset float64) OffsetDelay {
+	if base == nil {
+		panic("clash: OffsetDelay needs a base distribution")
+	}
+	if offset < 0 {
+		panic(fmt.Sprintf("clash: negative offset %v", offset))
+	}
+	return OffsetDelay{Base: base, Offset: offset}
+}
+
+// Sample implements DelayDist.
+func (o OffsetDelay) Sample(rng *stats.RNG) float64 { return o.Offset + o.Base.Sample(rng) }
+
+// Name implements DelayDist.
+func (o OffsetDelay) Name() string { return o.Base.Name() + "+offset" }
+
+// Window implements DelayDist.
+func (o OffsetDelay) Window() (float64, float64) {
+	d1, d2 := o.Base.Window()
+	return d1 + o.Offset, d2 + o.Offset
+}
+
+// RankedDelay is deterministic: a site with rank r waits D1 + r·Spacing.
+// With unique ranks, exactly one site responds (the lowest-ranked that
+// heard the clash), at the cost of needing rank agreement — the paper
+// notes ranking needs "additional information that we have", which a
+// session directory does have (orderable origin addresses).
+type RankedDelay struct {
+	D1      float64
+	Spacing float64 // milliseconds between consecutive ranks; should be ≥ RTT
+	Rank    int
+}
+
+// NewRankedDelay validates and builds a RankedDelay for one site.
+func NewRankedDelay(d1, spacing float64, rank int) RankedDelay {
+	if d1 < 0 || spacing <= 0 || rank < 0 {
+		panic(fmt.Sprintf("clash: invalid ranked delay (%v, %v, %d)", d1, spacing, rank))
+	}
+	return RankedDelay{D1: d1, Spacing: spacing, Rank: rank}
+}
+
+// Sample implements DelayDist (deterministically).
+func (r RankedDelay) Sample(*stats.RNG) float64 { return r.D1 + float64(r.Rank)*r.Spacing }
+
+// Name implements DelayDist.
+func (r RankedDelay) Name() string { return "ranked" }
+
+// Window implements DelayDist.
+func (r RankedDelay) Window() (float64, float64) {
+	d := r.D1 + float64(r.Rank)*r.Spacing
+	return d, d
+}

@@ -1,0 +1,81 @@
+package clash
+
+import (
+	"testing"
+
+	"sessiondir/internal/stats"
+)
+
+func TestOffsetDelay(t *testing.T) {
+	base := NewUniformDelay(100, 200)
+	o := NewOffsetDelay(base, 1000)
+	rng := stats.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		d := o.Sample(rng)
+		if d < 1100 || d > 1200 {
+			t.Fatalf("sample %v outside shifted window", d)
+		}
+	}
+	d1, d2 := o.Window()
+	if d1 != 1100 || d2 != 1200 {
+		t.Fatalf("window = [%v, %v]", d1, d2)
+	}
+	if o.Name() != "uniform+offset" {
+		t.Fatalf("name = %q", o.Name())
+	}
+}
+
+func TestOffsetDelayValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewOffsetDelay(nil, 10) },
+		func() { NewOffsetDelay(NewUniformDelay(0, 1), -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRankedDelayDeterministic(t *testing.T) {
+	r := NewRankedDelay(50, 200, 3)
+	rng := stats.NewRNG(2)
+	want := 50 + 3.0*200
+	for i := 0; i < 10; i++ {
+		if got := r.Sample(rng); got != want {
+			t.Fatalf("sample %v want %v", got, want)
+		}
+	}
+	d1, d2 := r.Window()
+	if d1 != want || d2 != want {
+		t.Fatalf("window = [%v, %v]", d1, d2)
+	}
+	if r.Name() != "ranked" {
+		t.Fatal("name")
+	}
+	// Rank 0 responds at D1.
+	if got := NewRankedDelay(10, 200, 0).Sample(rng); got != 10 {
+		t.Fatalf("rank0 = %v", got)
+	}
+}
+
+func TestRankedDelayValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRankedDelay(-1, 200, 0) },
+		func() { NewRankedDelay(0, 0, 0) },
+		func() { NewRankedDelay(0, 200, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/sim"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+// RunAdminScope quantifies the paper's §1 remark that "the simpler
+// solutions work well for administrative scope zone address allocation":
+// the same informed-random allocator that clashes after ~√n addresses
+// under TTL scoping is perfect (zero clashes, full utilisation) under
+// administrative scoping, because admin-zone visibility is symmetric.
+func RunAdminScope(w io.Writer, s Scale) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	zones, err := topology.ZonesFromCountries(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# §1 contrast: IR under admin scoping vs TTL scoping (%d zones)\n", len(zones))
+	fmt.Fprintln(w, "# space   ttl_allocs_before_clash   admin_allocs   admin_clashes")
+	rng := stats.NewRNG(s.Seed)
+	for _, space := range s.Fig5Spaces {
+		var ttl stats.Summary
+		for trial := 0; trial < s.Fig5Trials; trial++ {
+			w2 := sim.NewWorld(g)
+			res := sim.FillUntilClash(w2, sim.FillConfig{
+				Alloc: allocator.NewInformedRandom(space),
+				Dist:  mcast.DS4(),
+			}, rng.Split())
+			ttl.Add(float64(res.Allocations))
+		}
+		admin := sim.FillAdminZones(zones, func() allocator.Allocator {
+			return allocator.NewInformedRandom(space)
+		}, int(space)*len(zones)*2, rng.Split())
+		fmt.Fprintf(w, "%7d   %23.1f   %12d   %13d\n",
+			space, ttl.Mean(), admin.Allocations, admin.Clashes)
+	}
+	fmt.Fprintln(w, "# admin scoping: every zone fills completely, clash-free")
+	return nil
+}

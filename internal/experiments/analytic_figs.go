@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/analytic"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// RunFig1 prints the IPRMA partition probability-density illustration of
+// Figures 1–2: which slice of the address space each TTL range draws from.
+func RunFig1(w io.Writer, _ Scale) error {
+	p := allocator.NewStaticPartitioned(600, []mcast.TTL{16, 32, 48, 64, 128})
+	fmt.Fprintln(w, "# Figure 1/2: address ranges per TTL band (IPR 6-band illustration)")
+	ranges := []struct {
+		label string
+		ttl   mcast.TTL
+	}{
+		{"1-15", 8}, {"15-31", 24}, {"32-47", 40}, {"47-63", 56}, {"64-127", 96}, {"127-255", 200},
+	}
+	for _, r := range ranges {
+		b := p.BandOf(r.ttl)
+		start, width := p.BandRange(b)
+		fmt.Fprintf(w, "ttl range %-8s -> band %d, addresses [%4d, %4d)  p(addr)=1/%d inside, 0 outside\n",
+			r.label, b, start, start+width, width)
+	}
+	return nil
+}
+
+// RunFig4 prints the birthday-problem curve of Figure 4 and its
+// Monte-Carlo overlay.
+func RunFig4(w io.Writer, s Scale) error {
+	const space = 10000
+	fmt.Fprintln(w, "# Figure 4: clash probability, random allocation from a space of 10000")
+	fmt.Fprintln(w, "# allocated  p(clash)  p(MC)")
+	rng := stats.NewRNG(s.Seed)
+	for k := 0; k <= 400; k += 50 {
+		closed := analytic.BirthdayClashProbability(space, k)
+		mc := monteCarloBirthday(space, k, 400, rng)
+		fmt.Fprintf(w, "%9d  %8.4f  %6.3f\n", k, closed, mc)
+	}
+	fmt.Fprintf(w, "# median (p=0.5) at %d allocations; sqrt(space)=100\n",
+		analytic.BirthdayMedian(space))
+	return nil
+}
+
+func monteCarloBirthday(space, k, trials int, rng *stats.RNG) float64 {
+	if k <= 1 {
+		return 0
+	}
+	clashes := 0
+	seen := make(map[int]bool, k)
+	for t := 0; t < trials; t++ {
+		clear(seen)
+		for j := 0; j < k; j++ {
+			a := rng.IntN(space)
+			if seen[a] {
+				clashes++
+				break
+			}
+			seen[a] = true
+		}
+	}
+	return float64(clashes) / float64(trials)
+}
+
+// RunFig6 prints Equation 1's packing curves (Figure 6).
+func RunFig6(w io.Writer, _ Scale) error {
+	fmt.Fprintln(w, "# Figure 6: allocations in one partition at 50% clash probability")
+	fmt.Fprintln(w, "# space      i=0.01m   i=0.001m  i=0.0001m i=0.00001m  (bounds: sqrt(n)..n)")
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		fmt.Fprintf(w, "%8d", n)
+		for _, f := range analytic.Figure6InvisibleFractions() {
+			fmt.Fprintf(w, "  %9d", analytic.AllocationsAtHalf(n, f))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "# paper anchor: space 8192, i=0.001m → 8 partitions sustain ≈16496 sessions")
+	m := analytic.AllocationsAtHalf(8192, 0.001)
+	fmt.Fprintf(w, "# measured: 8 × %d = %d\n", m, 8*m)
+	return nil
+}
+
+// RunFig8 prints the Figure-8 illustration: the deterministic adaptive
+// IPRMA band layout as computed by two sites with views that agree above
+// TTL t but differ below.
+func RunFig8(w io.Writer, s Scale) error {
+	a := allocator.NewAdaptive(1000, allocator.AdaptiveConfig{GapFraction: 0.2})
+	rng := stats.NewRNG(s.Seed)
+	d := mcast.DS4()
+	var shared, siteA, siteB []allocator.SessionInfo
+	for i := 0; i < 120; i++ {
+		ttl := d.Sample(rng.IntN)
+		info := allocator.SessionInfo{Addr: mcast.Addr(rng.IntN(1000)), TTL: ttl}
+		switch {
+		case ttl >= 48:
+			shared = append(shared, info)
+		case rng.Bool(0.5):
+			siteA = append(siteA, info)
+		default:
+			siteB = append(siteB, info)
+		}
+	}
+	print := func(label string, view []allocator.SessionInfo) {
+		fmt.Fprintf(w, "# %s (%d sessions visible)\n", label, len(view))
+		for _, b := range a.Layout(view) {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  band lowTTL=%-3d [%4d, %4d) sessions=%d\n",
+				b.Low, b.Start, b.Start+b.Width, b.Count)
+		}
+	}
+	fmt.Fprintln(w, "# Figure 8: DAIPR band layouts at two sites (t = 48)")
+	print("site A", append(append([]allocator.SessionInfo{}, shared...), siteA...))
+	print("site B", append(append([]allocator.SessionInfo{}, shared...), siteB...))
+	fmt.Fprintln(w, "# bands with TTL >= 48 coincide at both sites (determinism property)")
+	return nil
+}
+
+// RunFig11 prints the TTL→partition mapping of Figure 11.
+func RunFig11(w io.Writer, _ Scale) error {
+	fmt.Fprintln(w, "# Figure 11: TTL value → partition number (margin of safety 2)")
+	pm := allocator.NewPartitionMap(2)
+	fmt.Fprintf(w, "# %d partitions\n", pm.NumClasses())
+	step := 0
+	for t := 0; t <= 255; t += 5 {
+		fmt.Fprintf(w, "ttl %3d -> partition %2d\n", t, pm.ClassOf(mcast.TTL(t)))
+		step++
+	}
+	return nil
+}
+
+// RunFig14 prints the Equation-2 responder surface (Figure 14).
+func RunFig14(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# Figure 14: expected responders, uniform delay buckets (R = 200 ms)")
+	return printResponderSurface(w, s, "uniform")
+}
+
+// RunFig18 prints the Equation-4 responder surface (Figure 18).
+func RunFig18(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# Figure 18: expected responders, exponential delay buckets (R = 200 ms)")
+	if err := printResponderSurface(w, s, "exp"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# limit for large d: %.6f responses (paper: 1.442698)\n",
+		analytic.ExpRespondersLimit)
+	return nil
+}
+
+func printResponderSurface(w io.Writer, s Scale, dist string) error {
+	fmt.Fprintf(w, "# %-10s", "D2(ms)")
+	for _, n := range s.RespReceivers {
+		fmt.Fprintf(w, " n=%-8d", n)
+	}
+	fmt.Fprintln(w)
+	pts := analytic.ResponderSurface(s.RespD2Millis, s.RespReceivers, 200, dist)
+	i := 0
+	for _, d2 := range s.RespD2Millis {
+		fmt.Fprintf(w, "%-12.0f", d2)
+		for range s.RespReceivers {
+			fmt.Fprintf(w, " %-10.2f", pts[i].Expected)
+			i++
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sessiondir/internal/mcast"
+)
+
+// tiny returns a scale small enough to run every experiment in a test.
+func tiny() Scale {
+	return Scale{
+		Name:          "tiny",
+		MboneNodes:    250,
+		HopSources:    20,
+		Fig5Spaces:    []uint32{64, 128},
+		Fig5Trials:    3,
+		Fig5Dists:     []mcast.TTLDistribution{mcast.DS4()},
+		Fig12Spaces:   []uint32{64},
+		Fig12Reps:     3,
+		RespReceivers: []int{200, 800},
+		RespD2Millis:  []float64{800, 3200},
+		RRGroupSizes:  []int{150},
+		RRD2Millis:    []float64{800, 51200},
+		RRTrials:      1,
+		Seed:          7,
+	}
+}
+
+func TestAllRunnersProduceOutput(t *testing.T) {
+	s := tiny()
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(&buf, s); err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", r.ID)
+			}
+			if !strings.Contains(buf.String(), "\n") {
+				t.Fatalf("%s produced a single line: %q", r.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("fig5")
+	if err != nil || r.ID != "fig5" {
+		t.Fatalf("fig5 lookup: %+v %v", r, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunnersHaveUniqueSortedIDs(t *testing.T) {
+	rs := All()
+	for i := 1; i < len(rs); i++ {
+		if rs[i].ID <= rs[i-1].ID {
+			t.Fatalf("ids not strictly sorted: %s then %s", rs[i-1].ID, rs[i].ID)
+		}
+	}
+	for _, r := range rs {
+		if r.Description == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %q", r.ID)
+		}
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, s := range []Scale{Quick(), Full()} {
+		if s.MboneNodes < 100 || s.Fig5Trials < 1 || s.Fig12Reps < 1 || s.RRTrials < 1 {
+			t.Fatalf("degenerate scale %+v", s)
+		}
+		if len(s.Fig5Spaces) == 0 || len(s.RespReceivers) == 0 {
+			t.Fatalf("empty ranges in %s", s.Name)
+		}
+	}
+	if Full().MboneNodes != 1864 {
+		t.Fatal("full scale must use the paper's 1864-node map")
+	}
+	if len(Full().Fig5Dists) != 4 {
+		t.Fatal("full scale must sweep all four TTL distributions")
+	}
+}
+
+// TestFig11Output verifies the printed mapping is the paper's 55 partitions.
+func TestFig11Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig11(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# 55 partitions") {
+		t.Fatalf("output missing partition count:\n%s", buf.String())
+	}
+}
+
+// TestFig4OutputMedian sanity-checks the printed birthday median.
+func TestFig4OutputMedian(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFig4(&buf, tiny()); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`median \(p=0.5\) at (\d+) allocations`)
+	m := re.FindStringSubmatch(buf.String())
+	if m == nil {
+		t.Fatalf("median line missing:\n%s", buf.String())
+	}
+	v, _ := strconv.Atoi(m[1])
+	if v < 100 || v < 110 || v > 130 {
+		t.Fatalf("median %d outside the 1.18·√10000 ≈ 118 ballpark", v)
+	}
+}
+
+// TestSampleSources covers the subsampling helper.
+func TestSampleSources(t *testing.T) {
+	s := tiny()
+	g, err := mbone(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleSources(g, 0, 1); got != nil {
+		t.Fatal("0 should mean all (nil)")
+	}
+	if got := sampleSources(g, g.NumNodes()+10, 1); got != nil {
+		t.Fatal("oversized sample should mean all (nil)")
+	}
+	got := sampleSources(g, 10, 1)
+	if len(got) != 10 {
+		t.Fatalf("sample size %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, n := range got {
+		if seen[int(n)] {
+			t.Fatal("duplicate source in sample")
+		}
+		seen[int(n)] = true
+	}
+}

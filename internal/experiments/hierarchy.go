@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sessiondir/internal/prefix"
+)
+
+// RunHierarchy runs the §4.1 extension experiment: flat global allocation
+// versus the two-layer prefix scheme, sweeping space sizes. The paper's
+// argument is qualitative — prefixes change slowly (tiny collision
+// window) and usage announcements stay regional (smaller invisible
+// fraction) — so the harness quantifies exactly those two effects.
+func RunHierarchy(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# §4.1: flat vs hierarchical (prefix + regional) allocation")
+	fmt.Fprintln(w, "# invisible fractions: flat i=0.02 (one global channel),")
+	fmt.Fprintln(w, "# regional i=0.0005 (frequent local announcements), prefix i=0.001")
+	regions := 8
+	for _, space := range []uint32{1024, 2048, 4096} {
+		res, err := prefix.RunExperiment(prefix.ExperimentConfig{
+			SpaceSize:         space,
+			BlockSize:         space / 32,
+			Regions:           regions,
+			SessionsPerRegion: int(space) / 16, // ~50% occupancy overall
+			Churns:            s.Fig12Reps * 10,
+			InvisibleFlat:     0.02,
+			InvisibleLocal:    0.0005,
+			InvisiblePrefix:   0.001,
+			ListenTicks:       3,
+			Seed:              s.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## space=%d, %d regions\n%s\n", space, regions, res)
+	}
+	return nil
+}

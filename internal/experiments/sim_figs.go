@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/sim"
+	"sessiondir/internal/topology"
+)
+
+// fig5Algorithms returns the four Figure-5 algorithm factories.
+func fig5Algorithms() []struct {
+	Name string
+	Make func(size uint32) allocator.Allocator
+} {
+	return []struct {
+		Name string
+		Make func(size uint32) allocator.Allocator
+	}{
+		{"R", func(size uint32) allocator.Allocator { return allocator.NewRandom(size) }},
+		{"IR", func(size uint32) allocator.Allocator { return allocator.NewInformedRandom(size) }},
+		{"IPR 3-band", func(size uint32) allocator.Allocator {
+			return allocator.NewStaticPartitioned(size, allocator.IPR3Separators())
+		}},
+		{"IPR 7-band", func(size uint32) allocator.Allocator {
+			return allocator.NewStaticPartitioned(size, allocator.IPR7Separators())
+		}},
+	}
+}
+
+// fig12Algorithms returns the seven Figure-12 algorithm factories.
+func fig12Algorithms() []struct {
+	Name string
+	Make func(size uint32) allocator.Allocator
+} {
+	mkAdaptive := func(gap float64, name string) func(uint32) allocator.Allocator {
+		return func(size uint32) allocator.Allocator {
+			return allocator.NewAdaptive(size, allocator.AdaptiveConfig{GapFraction: gap, Name: name})
+		}
+	}
+	return []struct {
+		Name string
+		Make func(size uint32) allocator.Allocator
+	}{
+		{"AIPR-1 (20% gap)", mkAdaptive(0.2, "AIPR-1 (20% gap)")},
+		{"AIPR-2 (50% gap)", mkAdaptive(0.5, "AIPR-2 (50% gap)")},
+		{"AIPR-3 (60% gap)", mkAdaptive(0.6, "AIPR-3 (60% gap)")},
+		{"AIPR-4 (70% gap)", mkAdaptive(0.7, "AIPR-4 (70% gap)")},
+		{"AIPR-H (hybrid)", func(size uint32) allocator.Allocator { return allocator.NewHybrid(size) }},
+		{"IPR 3-band", func(size uint32) allocator.Allocator {
+			return allocator.NewStaticPartitioned(size, allocator.IPR3Separators())
+		}},
+		{"IPR 7-band", func(size uint32) allocator.Allocator {
+			return allocator.NewStaticPartitioned(size, allocator.IPR7Separators())
+		}},
+	}
+}
+
+// RunFig5 regenerates Figure 5: allocations before the first clash for
+// R / IR / IPR 3-band / IPR 7-band across the ds1–ds4 TTL workloads on the
+// Mbone topology.
+func RunFig5(w io.Writer, s Scale) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Figure 5: allocations before clash (Mbone %d nodes, %d trials)\n",
+		g.NumNodes(), s.Fig5Trials)
+	for _, alg := range fig5Algorithms() {
+		pts := sim.RunFig5(sim.Fig5Config{
+			Graph:      g,
+			SpaceSizes: s.Fig5Spaces,
+			Dists:      s.Fig5Dists,
+			MakeAlloc:  alg.Make,
+			Trials:     s.Fig5Trials,
+			Seed:       s.Seed,
+		})
+		for _, p := range pts {
+			fmt.Fprintln(w, p.String())
+		}
+	}
+	return nil
+}
+
+// RunFig10 regenerates Figure 10: the normalised hop-count histograms per
+// TTL scope over the Mbone.
+func RunFig10(w io.Writer, s Scale) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	sources := sampleSources(g, s.HopSources, s.Seed)
+	fmt.Fprintf(w, "# Figure 10: hop-count distribution (Mbone %d nodes)\n", g.NumNodes())
+	for _, ttl := range []mcast.TTL{15, 47, 63, 127} {
+		h := topology.HopHistogram(g, ttl, sources)
+		fmt.Fprintf(w, "TTL=%d:", ttl)
+		for _, bin := range h.Normalized() {
+			fmt.Fprintf(w, " %d:%.3f", bin.Value, bin.Fraction)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunTTLTable regenerates the §2.4.1 table: most frequent and maximum hop
+// count per TTL scope.
+func RunTTLTable(w io.Writer, s Scale) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	sources := sampleSources(g, s.HopSources, s.Seed)
+	fmt.Fprintln(w, "# §2.4.1 table: hop counts per TTL scope")
+	fmt.Fprintln(w, "# TTL  mostfreq  mean   max   usage")
+	usage := map[mcast.TTL]string{
+		127: "Intercontinental", 63: "International", 47: "National", 16: "Local",
+	}
+	for _, row := range topology.HopStatsForTTLs(g, []mcast.TTL{127, 63, 47, 16}, sources) {
+		fmt.Fprintf(w, "%5d  %8d  %5.1f  %4d  %s\n",
+			row.TTL, row.MostFrequentHop, row.MeanHop, row.MaxHop, usage[row.TTL])
+	}
+	fmt.Fprintf(w, "# network diameter (hops): %d (DVMRP infinity is 32)\n",
+		topology.Diameter(g, sources))
+	return nil
+}
+
+// RunFig12 regenerates Figure 12: steady-state sustainable populations.
+func RunFig12(w io.Writer, s Scale) error { return runFig12(w, s, false) }
+
+// RunFig13 regenerates Figure 13: the same-source/same-TTL upper bound.
+// The paper plots AIPR-1, AIPR-2 and the two static schemes.
+func RunFig13(w io.Writer, s Scale) error { return runFig13(w, s) }
+
+func runFig12(w io.Writer, s Scale, upper bool) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	tag := "Figure 12 (steady-state churn)"
+	if upper {
+		tag = "Figure 13 (upper bound)"
+	}
+	fmt.Fprintf(w, "# %s: max sessions at ≤50%% clash probability, DS4, %d reps\n", tag, s.Fig12Reps)
+	for _, alg := range fig12Algorithms() {
+		pts := sim.RunFig12(sim.Fig12Config{
+			Graph:      g,
+			SpaceSizes: s.Fig12Spaces,
+			MakeAlloc:  alg.Make,
+			Dist:       mcast.DS4(),
+			Reps:       s.Fig12Reps,
+			UpperBound: upper,
+			Seed:       s.Seed,
+		})
+		for _, p := range pts {
+			fmt.Fprintln(w, p.String())
+		}
+	}
+	return nil
+}
+
+func runFig13(w io.Writer, s Scale) error {
+	g, err := mbone(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# Figure 13 (upper bound): max sessions at ≤50%% clash probability, DS4, %d reps\n", s.Fig12Reps)
+	algs := fig12Algorithms()
+	selected := []string{"AIPR-1 (20% gap)", "AIPR-2 (50% gap)", "IPR 3-band", "IPR 7-band"}
+	for _, alg := range algs {
+		keep := false
+		for _, name := range selected {
+			if alg.Name == name {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		pts := sim.RunFig12(sim.Fig12Config{
+			Graph:      g,
+			SpaceSizes: s.Fig12Spaces,
+			MakeAlloc:  alg.Make,
+			Dist:       mcast.DS4(),
+			Reps:       s.Fig12Reps,
+			UpperBound: true,
+			Seed:       s.Seed,
+		})
+		for _, p := range pts {
+			fmt.Fprintln(w, p.String())
+		}
+	}
+	return nil
+}
+
+// RunFig15 regenerates Figure 15: simulated responder counts for the four
+// routing/jitter variants (A: SPT, delay≈distance; B: shared; C: SPT +
+// jitter; D: shared + jitter) across group sizes and D2 windows.
+func RunFig15(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# Figure 15: simulated request-response responders (uniform delay)")
+	variants := []struct {
+		label  string
+		mode   sim.TreeMode
+		jitter bool
+	}{
+		{"A: spt,   delay~distance", sim.ShortestPathTree, false},
+		{"B: shared, delay~distance", sim.SharedTree, false},
+		{"C: spt,   distance+random", sim.ShortestPathTree, true},
+		{"D: shared, distance+random", sim.SharedTree, true},
+	}
+	for _, v := range variants {
+		fmt.Fprintf(w, "## %s\n", v.label)
+		pts, err := sim.RunFig15(sim.Fig15Config{
+			GroupSizes: s.RRGroupSizes,
+			D2Millis:   s.RRD2Millis,
+			Mode:       v.mode,
+			Jitter:     v.jitter,
+			Trials:     s.RRTrials,
+			Seed:       s.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Fprintln(w, p.String())
+		}
+	}
+	return nil
+}
+
+// RunFig16 regenerates Figure 16: the delay before the first response for
+// the Figure-15 variant A (shortest path trees, delay ≈ distance).
+func RunFig16(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# Figure 16: first-response delay (spt, uniform delay)")
+	pts, err := sim.RunFig15(sim.Fig15Config{
+		GroupSizes: s.RRGroupSizes,
+		D2Millis:   s.RRD2Millis,
+		Mode:       sim.ShortestPathTree,
+		Trials:     s.RRTrials,
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(w, "D2=%-10.0f n=%-6d mean_first=%9.1fms max_first=%9.1fms\n",
+			p.D2Millis, p.GroupSize, p.MeanFirstMs, p.MaxFirstMs)
+	}
+	return nil
+}
+
+// RunFig19 regenerates Figure 19: mean responses vs mean first-response
+// delay for uniform and exponential random delays, one curve per D2.
+func RunFig19(w io.Writer, s Scale) error {
+	fmt.Fprintln(w, "# Figure 19: responses vs first-response delay")
+	for _, exp := range []bool{false, true} {
+		label := "uniform"
+		if exp {
+			label = "exponential"
+		}
+		fmt.Fprintf(w, "## %s random delay\n", label)
+		pts, err := sim.RunFig15(sim.Fig15Config{
+			GroupSizes: s.RRGroupSizes,
+			D2Millis:   s.RRD2Millis,
+			Mode:       sim.SharedTree,
+			Exp:        exp,
+			Trials:     s.RRTrials,
+			Seed:       s.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Fprintf(w, "D2=%-10.0f n=%-6d responses=%8.2f first=%8.3fs\n",
+				p.D2Millis, p.GroupSize, p.MeanResponses, p.MeanFirstMs/1000)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sessiondir/internal/clash"
+	"sessiondir/internal/sim"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+// RunStrategies compares the §3.1 responder-selection strategies at one
+// group size: plain uniform, exponential, announcers-first two-tier
+// (uniform within each tier), and deterministic ranking. The paper's
+// conclusion — "for this application, the [exponential] approach yields
+// the best results" given the unknown receiver set — is checked against
+// ranking's ideal single response (which needs rank agreement) and the
+// two-tier variant (which needs knowing who announces).
+func RunStrategies(w io.Writer, s Scale) error {
+	groupSize := s.RRGroupSizes[len(s.RRGroupSizes)-1]
+	root := stats.NewRNG(s.Seed)
+	g, err := topology.GenerateGrid(topology.GridConfig{
+		Nodes:          groupSize,
+		RedundantLinks: true,
+	}, root.Split())
+	if err != nil {
+		return err
+	}
+	members := make([]topology.NodeID, g.NumNodes())
+	for i := range members {
+		members[i] = topology.NodeID(i)
+	}
+	const d2 = 3200.0
+	const rtt = 200.0
+
+	// Announcer set for the two-tier strategy: 10% of sites.
+	isAnnouncer := make(map[topology.NodeID]bool)
+	for _, n := range members {
+		if root.Bool(0.1) {
+			isAnnouncer[n] = true
+		}
+	}
+	uniform := clash.NewUniformDelay(0, d2)
+	lateTier := clash.NewOffsetDelay(uniform, d2)
+	rankOf := make(map[topology.NodeID]int, len(members))
+	for i, n := range members {
+		rankOf[n] = i // origin-address ordering in a real deployment
+	}
+
+	strategies := []struct {
+		name string
+		cfg  func(c *sim.ReqRespConfig)
+	}{
+		{"uniform", func(c *sim.ReqRespConfig) {
+			c.Delay = uniform
+		}},
+		{"exponential", func(c *sim.ReqRespConfig) {
+			c.Delay = clash.NewExponentialDelay(0, d2, rtt)
+		}},
+		{"two-tier announcers", func(c *sim.ReqRespConfig) {
+			c.Delay = lateTier
+			c.DelayFor = func(n topology.NodeID) clash.DelayDist {
+				if isAnnouncer[n] {
+					return uniform
+				}
+				return nil // fall back to the late tier
+			}
+		}},
+		{"ranked", func(c *sim.ReqRespConfig) {
+			c.Delay = uniform // unused; every member gets a ranked dist
+			c.DelayFor = func(n topology.NodeID) clash.DelayDist {
+				return clash.NewRankedDelay(0, rtt, rankOf[n])
+			}
+		}},
+	}
+
+	fmt.Fprintf(w, "# §3.1 responder strategies (n=%d, D2=%.0f ms, %d trials)\n",
+		groupSize, d2, s.RRTrials)
+	fmt.Fprintln(w, "# strategy              responses   first_response")
+	for _, st := range strategies {
+		var responses, first stats.Summary
+		for trial := 0; trial < s.RRTrials; trial++ {
+			rng := root.Split()
+			cfg := sim.ReqRespConfig{
+				Graph:     g,
+				Mode:      sim.SharedTree,
+				Requester: topology.NodeID(rng.IntN(g.NumNodes())),
+				Members:   members,
+			}
+			st.cfg(&cfg)
+			r := sim.RunReqResp(cfg, rng)
+			responses.Add(float64(r.Responses))
+			if r.FirstArrivalAt >= 0 {
+				first.Add(r.FirstArrivalAt)
+			}
+		}
+		fmt.Fprintf(w, "%-22s %9.2f   %11.1fms\n", st.name, responses.Mean(), first.Mean())
+	}
+	fmt.Fprintln(w, "# ranking reaches ~1 response but requires agreed ranks; the")
+	fmt.Fprintln(w, "# exponential distribution needs no shared knowledge at all (§3.1)")
+	return nil
+}

@@ -1,0 +1,130 @@
+package mcast
+
+import "fmt"
+
+// TTL is an IPv4 time-to-live value as used for Mbone scope control.
+type TTL uint8
+
+// MaxTTL is the largest possible TTL value.
+const MaxTTL TTL = 255
+
+// Canonical Mbone scope TTLs. By convention, traffic meant to stay inside a
+// zone whose boundary threshold is y is sent with TTL y−1 (§2.4.1), hence
+// the 15/31/47/63/127 values for thresholds 16/32/48/64/128.
+const (
+	TTLHost         TTL = 0   // never leaves the host
+	TTLSubnet       TTL = 1   // local subnet only
+	TTLSite         TTL = 15  // site (threshold 16)
+	TTLRegion       TTL = 31  // region / campus cluster (threshold 32)
+	TTLCountryEU    TTL = 47  // within a European country (threshold 48)
+	TTLContinent    TTL = 63  // within a continent (threshold 64)
+	TTLWorld        TTL = 127 // intercontinental (threshold 128)
+	TTLUnrestricted TTL = 191 // "global" as announced by sdr
+)
+
+// TTLToStayWithin returns the TTL a sender should use for traffic that
+// must not escape a zone whose boundary threshold is y: y−1 (§2.4.1's
+// convention, which also guarantees A-hears-B symmetry inside the zone).
+func TTLToStayWithin(boundaryThreshold uint8) TTL {
+	if boundaryThreshold == 0 {
+		return 0
+	}
+	return TTL(boundaryThreshold - 1)
+}
+
+// ScopeName returns the conventional human-readable name for a scope TTL.
+func ScopeName(t TTL) string {
+	switch {
+	case t == 0:
+		return "host"
+	case t <= 1:
+		return "subnet"
+	case t <= 15:
+		return "site"
+	case t <= 31:
+		return "region"
+	case t <= 47:
+		return "national"
+	case t <= 63:
+		return "continental"
+	case t <= 127:
+		return "intercontinental"
+	default:
+		return "unrestricted"
+	}
+}
+
+// TTLDistribution is a workload distribution over session TTLs: the
+// empirical form used in the paper's §2.2 simulations, where each listed
+// value is equally likely (repetition expresses weight).
+type TTLDistribution struct {
+	Name   string
+	Values []TTL
+}
+
+// The four TTL workload distributions of the paper's Figure 5 simulations
+// (§2.2). ds1 is flat over the common scope values; ds2–ds4 progressively
+// weight local (low-TTL) sessions more heavily, illustrating how local
+// scoping aids scaling even as it starves the informed mechanisms.
+func DS1() TTLDistribution {
+	return TTLDistribution{Name: "ds1", Values: []TTL{1, 15, 31, 47, 63, 127, 191}}
+}
+
+func DS2() TTLDistribution {
+	return TTLDistribution{Name: "ds2", Values: []TTL{1, 1, 15, 15, 31, 47, 63, 127, 191}}
+}
+
+func DS3() TTLDistribution {
+	return TTLDistribution{Name: "ds3", Values: []TTL{
+		1, 1, 1, 1, 15, 15, 15, 15, 31, 47, 63, 127, 191}}
+}
+
+func DS4() TTLDistribution {
+	return TTLDistribution{Name: "ds4", Values: []TTL{
+		1, 1, 1, 1, 1, 1, 1, 1,
+		15, 15, 15, 15, 15, 15,
+		31, 31, 47, 47, 63, 63, 127, 191}}
+}
+
+// Distributions returns all four workload distributions in order.
+func Distributions() []TTLDistribution {
+	return []TTLDistribution{DS1(), DS2(), DS3(), DS4()}
+}
+
+// DistributionByName returns the named distribution.
+func DistributionByName(name string) (TTLDistribution, error) {
+	for _, d := range Distributions() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return TTLDistribution{}, fmt.Errorf("mcast: unknown TTL distribution %q", name)
+}
+
+// Sample draws one TTL. The caller supplies the uniform variate source as a
+// function returning an int in [0, n) to avoid a dependency cycle with the
+// stats package.
+func (d TTLDistribution) Sample(intn func(n int) int) TTL {
+	if len(d.Values) == 0 {
+		panic("mcast: sampling from empty TTL distribution")
+	}
+	return d.Values[intn(len(d.Values))]
+}
+
+// Support returns the distinct TTL values in ascending order.
+func (d TTLDistribution) Support() []TTL {
+	seen := map[TTL]bool{}
+	var out []TTL
+	for _, v := range d.Values {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

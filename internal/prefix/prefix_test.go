@@ -1,0 +1,244 @@
+package prefix
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+func TestBlockBasics(t *testing.T) {
+	a := Block{Start: 0, Size: 10}
+	b := Block{Start: 10, Size: 10}
+	c := Block{Start: 5, Size: 10}
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Fatal("adjacent blocks overlap")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Fatal("overlapping blocks not detected")
+	}
+	if a.End() != 10 || a.String() != "[0,10)" {
+		t.Fatal("accessors")
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	bad := []PoolConfig{
+		{SpaceSize: 0, BlockSize: 1, Regions: 1},
+		{SpaceSize: 10, BlockSize: 0, Regions: 1},
+		{SpaceSize: 10, BlockSize: 20, Regions: 1},
+		{SpaceSize: 10, BlockSize: 1, Regions: 0},
+		{SpaceSize: 10, BlockSize: 1, Regions: 1, ListenTicks: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewPool(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestClaimLifecycle(t *testing.T) {
+	pool, err := NewPool(PoolConfig{SpaceSize: 100, BlockSize: 10, ListenTicks: 3, Regions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	c := pool.ClaimBlock(0, 0, 0, rng)
+	if c == nil || c.State != ClaimPending {
+		t.Fatalf("claim = %+v", c)
+	}
+	pool.Tick(1)
+	if c.State != ClaimPending {
+		t.Fatal("activated before listen period")
+	}
+	pool.Tick(3)
+	if c.State != ClaimActive {
+		t.Fatal("did not activate after listen period")
+	}
+	got := pool.ActiveBlocks(0)
+	if len(got) != 1 || got[0] != c.Block {
+		t.Fatalf("active blocks = %v", got)
+	}
+	pool.Release(c)
+	if len(pool.ActiveBlocks(0)) != 0 {
+		t.Fatal("release did not clear holdings")
+	}
+}
+
+func TestClaimAvoidsVisibleClaims(t *testing.T) {
+	pool, _ := NewPool(PoolConfig{SpaceSize: 30, BlockSize: 10, Regions: 2})
+	rng := stats.NewRNG(2)
+	seen := map[uint32]bool{}
+	// With zero invisibility, three claims take the three distinct blocks.
+	for i := 0; i < 3; i++ {
+		c := pool.ClaimBlock(i%2, 0, 0, rng)
+		if c == nil {
+			t.Fatal("free block not claimed")
+		}
+		if seen[c.Block.Start] {
+			t.Fatalf("block %v claimed twice with perfect visibility", c.Block)
+		}
+		seen[c.Block.Start] = true
+	}
+	// Space exhausted.
+	if c := pool.ClaimBlock(0, 0, 0, rng); c != nil {
+		t.Fatalf("claim from exhausted space: %+v", c)
+	}
+}
+
+func TestClaimCollisionResolvedEarlierWins(t *testing.T) {
+	pool, _ := NewPool(PoolConfig{SpaceSize: 10, BlockSize: 10, ListenTicks: 5, Regions: 2})
+	rng := stats.NewRNG(3)
+	first := pool.ClaimBlock(0, 0, 1.0, rng) // invisible=1: blind claims
+	second := pool.ClaimBlock(1, 2, 1.0, rng)
+	if first.Block != second.Block {
+		t.Fatal("test setup: expected colliding claims on the single block")
+	}
+	collisions := pool.Tick(6)
+	if collisions != 1 {
+		t.Fatalf("collisions = %d", collisions)
+	}
+	if first.State != ClaimActive {
+		t.Fatalf("earlier claim state = %v", first.State)
+	}
+	if second.State != ClaimAbandoned {
+		t.Fatalf("later claim state = %v", second.State)
+	}
+	if err := pool.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolInvariantProperty(t *testing.T) {
+	// Under arbitrary interleavings of blind claims and ticks, active
+	// claims never overlap.
+	err := quick.Check(func(seed uint64, ops []bool) bool {
+		pool, _ := NewPool(PoolConfig{SpaceSize: 80, BlockSize: 10, ListenTicks: 2, Regions: 3})
+		rng := stats.NewRNG(seed)
+		now := int64(0)
+		for _, claim := range ops {
+			now++
+			if claim {
+				pool.ClaimBlock(rng.IntN(3), now, 0.5, rng)
+			}
+			pool.Tick(now)
+		}
+		pool.Tick(now + 10)
+		return pool.Invariant() == nil
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionAllocator(t *testing.T) {
+	pool, _ := NewPool(PoolConfig{SpaceSize: 40, BlockSize: 10, ListenTicks: 0, Regions: 1})
+	rng := stats.NewRNG(4)
+	r := NewRegionAllocator(pool, 0)
+	if _, _, err := r.Allocate(0, rng); err == nil {
+		t.Fatal("allocation without blocks succeeded")
+	}
+	claim := pool.ClaimBlock(0, 0, 0, rng)
+	pool.Tick(1)
+	if r.Holdings() != 10 {
+		t.Fatalf("holdings = %d", r.Holdings())
+	}
+	block := claim.Block
+	seen := map[uint32]bool{}
+	for i := 0; i < 10; i++ {
+		a, clash, err := r.Allocate(0, rng)
+		if err != nil || clash {
+			t.Fatalf("alloc %d: clash=%v err=%v", i, clash, err)
+		}
+		if uint32(a) < block.Start || uint32(a) >= block.End() {
+			t.Fatalf("address %d outside the region's block %s", a, block)
+		}
+		if seen[uint32(a)] {
+			t.Fatalf("address %d allocated twice with perfect visibility", a)
+		}
+		seen[uint32(a)] = true
+	}
+	if _, _, err := r.Allocate(0, rng); err == nil {
+		t.Fatal("allocation from full blocks succeeded")
+	}
+	freed := mcast.Addr(block.Start + 3)
+	r.Free(freed)
+	if a, clash, err := r.Allocate(0, rng); err != nil || clash || a != freed {
+		t.Fatalf("after free: a=%d clash=%v err=%v", a, clash, err)
+	}
+	if r.InUse() != 10 {
+		t.Fatalf("in use = %d", r.InUse())
+	}
+}
+
+func TestRegionAllocatorInvisibleClashes(t *testing.T) {
+	pool, _ := NewPool(PoolConfig{SpaceSize: 10, BlockSize: 10, ListenTicks: 0, Regions: 1})
+	rng := stats.NewRNG(5)
+	r := NewRegionAllocator(pool, 0)
+	pool.ClaimBlock(0, 0, 0, rng)
+	pool.Tick(1)
+	// With invisibility 1 everything looks free: clashes must appear once
+	// the block is part-full.
+	clashes := 0
+	for i := 0; i < 30; i++ {
+		_, clash, err := r.Allocate(1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clash {
+			clashes++
+		}
+	}
+	if clashes == 0 {
+		t.Fatal("blind allocation produced no clashes")
+	}
+}
+
+func TestClaimStateString(t *testing.T) {
+	if ClaimPending.String() != "pending" || ClaimActive.String() != "active" ||
+		ClaimAbandoned.String() != "abandoned" || ClaimState(9).String() != "ClaimState(9)" {
+		t.Fatal("names")
+	}
+}
+
+func TestExperimentHierarchicalWins(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		SpaceSize:         2048,
+		BlockSize:         64,
+		Regions:           8,
+		SessionsPerRegion: 120, // ~50% space occupancy: clash pressure
+		Churns:            200,
+		InvisibleFlat:     0.02, // one slow global announcement channel
+		InvisibleLocal:    0.0005,
+		InvisiblePrefix:   0.001,
+		ListenTicks:       3,
+		Seed:              11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HierAllocations < res.FlatAllocations/2 {
+		t.Fatalf("hierarchical starved: %+v", res)
+	}
+	// The §4.1 claim: regional announcements (small i) beat one global
+	// channel (large i) on clash rate.
+	flatRate := float64(res.FlatClashes) / float64(res.FlatAllocations)
+	hierRate := float64(res.HierLocalClashes) / float64(res.HierAllocations)
+	if hierRate >= flatRate {
+		t.Fatalf("hierarchical clash rate %v not better than flat %v (%+v)", hierRate, flatRate, res)
+	}
+	if res.HierBlocksClaimed == 0 {
+		t.Fatal("no blocks claimed")
+	}
+	if res.String() == "" || !strings.Contains(res.String(), "prefix collisions") {
+		t.Fatal("String output")
+	}
+}
+
+func TestExperimentConfigValidation(t *testing.T) {
+	if _, err := RunExperiment(ExperimentConfig{Regions: 0}); err == nil {
+		t.Fatal("degenerate config accepted")
+	}
+}

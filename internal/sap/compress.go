@@ -1,0 +1,86 @@
+package sap
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// SAP optionally carries zlib-compressed payloads (the C header bit).
+// Compression mattered on the Mbone: the shared 4000 bps announcement
+// budget means smaller ads directly translate into shorter steady-state
+// intervals and therefore a smaller invisible fraction for the allocator.
+
+// maxDecompressed bounds decompression output to keep a hostile packet
+// from ballooning (zip-bomb protection); announcements are ~1 kB.
+const maxDecompressed = 256 * 1024
+
+// MarshalCompressed appends the wire form of p with a zlib-compressed
+// payload (payload type + body compressed together, per RFC 2974 §4).
+func (p *Packet) MarshalCompressed(dst []byte) ([]byte, error) {
+	if !p.Origin.Is4() {
+		return nil, fmt.Errorf("%w (origin %s)", ErrIPv6, p.Origin)
+	}
+	flags := byte(Version<<flagVersionShift) | flagCompressed
+	if p.Type == Delete {
+		flags |= flagMessageType
+	}
+	dst = append(dst, flags, 0)
+	dst = append(dst, byte(p.MsgIDHash>>8), byte(p.MsgIDHash))
+	o := p.Origin.As4()
+	dst = append(dst, o[:]...)
+
+	var body bytes.Buffer
+	zw := zlib.NewWriter(&body)
+	pt := p.PayloadType
+	if pt == "" {
+		pt = PayloadTypeSDP
+	}
+	if _, err := zw.Write(append(append([]byte(pt), 0), p.Payload...)); err != nil {
+		return nil, fmt.Errorf("sap: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("sap: compress: %w", err)
+	}
+	return append(dst, body.Bytes()...), nil
+}
+
+// DecodeMaybeCompressed decodes data like Decode but also accepts
+// compressed packets, inflating them transparently. Unlike Decode, the
+// payload of a compressed packet is a fresh allocation (it cannot alias
+// the wire buffer).
+func (p *Packet) DecodeMaybeCompressed(data []byte) error {
+	if len(data) < headerLenIPv4 {
+		return fmt.Errorf("%w (%d bytes)", ErrTooShort, len(data))
+	}
+	if data[0]&flagCompressed == 0 {
+		return p.Decode(data)
+	}
+	if data[0]&flagEncrypted != 0 {
+		return ErrEncrypted
+	}
+	authLen := int(data[1]) * 4
+	if len(data) < headerLenIPv4+authLen {
+		return fmt.Errorf("%w (auth data truncated)", ErrTooShort)
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(data[headerLenIPv4+authLen:]))
+	if err != nil {
+		return fmt.Errorf("sap: inflate: %w", err)
+	}
+	defer zr.Close() //nolint:errcheck // read errors surface below
+	inflated, err := io.ReadAll(io.LimitReader(zr, maxDecompressed+1))
+	if err != nil {
+		return fmt.Errorf("sap: inflate: %w", err)
+	}
+	if len(inflated) > maxDecompressed {
+		return fmt.Errorf("sap: inflated payload exceeds %d bytes", maxDecompressed)
+	}
+	// Rebuild an uncompressed packet image and decode it normally so the
+	// payload-type parsing stays in one place.
+	rebuilt := make([]byte, 0, headerLenIPv4+len(inflated))
+	rebuilt = append(rebuilt, data[0]&^flagCompressed, 0)
+	rebuilt = append(rebuilt, data[2:headerLenIPv4]...)
+	rebuilt = append(rebuilt, inflated...)
+	return p.Decode(rebuilt)
+}

@@ -1,0 +1,54 @@
+package sap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Without -fuzz they run the seed corpus as ordinary
+// tests; with `go test -fuzz=FuzzDecode ./internal/sap` they explore.
+
+func FuzzDecode(f *testing.F) {
+	wire, _ := samplePacket().Marshal(nil)
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add([]byte{0x20, 0x00, 0x12, 0x34, 10, 0, 0, 1})
+	compressed, _ := samplePacket().MarshalCompressed(nil)
+	f.Add(compressed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		_ = p.Decode(data) // must not panic
+		var q Packet
+		_ = q.DecodeMaybeCompressed(data) // must not panic
+	})
+}
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("v=0\r\ns=x\r\n"), uint16(7), false)
+	f.Add([]byte{}, uint16(0), true)
+	f.Fuzz(func(t *testing.T, payload []byte, hash uint16, del bool) {
+		p := samplePacket()
+		p.Payload = payload
+		p.MsgIDHash = hash
+		if del {
+			p.Type = Delete
+		}
+		wire, err := p.Marshal(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Packet
+		if err := got.Decode(wire); err != nil {
+			// Some payloads legitimately fail (e.g. a payload whose first
+			// bytes look like a malformed MIME prefix); they must fail
+			// cleanly, not round-trip wrongly.
+			return
+		}
+		if got.MsgIDHash != hash || got.Type != p.Type {
+			t.Fatalf("header mutated: %+v", got)
+		}
+		if got.PayloadType == "" && !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("payload mutated: %q vs %q", got.Payload, payload)
+		}
+	})
+}

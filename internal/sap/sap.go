@@ -1,0 +1,196 @@
+// Package sap implements the Session Announcement Protocol wire format
+// (the protocol of the paper's reference [6], later RFC 2974): the packet
+// header carrying session announcements and deletions between session
+// directory instances.
+//
+// The codec follows the decoding style of high-throughput packet libraries:
+// Decode parses into a caller-owned Packet without allocating, and the
+// decoded Payload aliases the input buffer (NoCopy) — callers that retain
+// the payload past the buffer's lifetime must copy it.
+package sap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// MessageType distinguishes announcements from deletions.
+type MessageType uint8
+
+const (
+	// Announce advertises (or re-advertises) a session.
+	Announce MessageType = 0
+	// Delete withdraws a previously announced session.
+	Delete MessageType = 1
+)
+
+// String implements fmt.Stringer.
+func (m MessageType) String() string {
+	switch m {
+	case Announce:
+		return "announce"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MessageType(%d)", uint8(m))
+	}
+}
+
+// Version is the SAP protocol version this package implements.
+const Version = 1
+
+// PayloadTypeSDP is the payload type of SDP session descriptions.
+const PayloadTypeSDP = "application/sdp"
+
+// header layout constants.
+const (
+	flagVersionShift = 5      // V: 3 bits
+	flagAddrType     = 1 << 4 // A: 0 = IPv4, 1 = IPv6
+	flagReserved     = 1 << 3 // R
+	flagMessageType  = 1 << 2 // T: 0 = announce, 1 = delete
+	flagEncrypted    = 1 << 1 // E
+	flagCompressed   = 1 << 0 // C
+
+	headerLenIPv4 = 8 // flags, auth len, msg id hash, origin (4 bytes)
+)
+
+// Decoding errors.
+var (
+	ErrTooShort   = errors.New("sap: packet too short")
+	ErrBadVersion = errors.New("sap: unsupported version")
+	ErrIPv6       = errors.New("sap: IPv6 origin not supported")
+	ErrEncrypted  = errors.New("sap: encrypted payloads not supported")
+	ErrCompressed = errors.New("sap: compressed payloads not supported")
+	ErrBadPayload = errors.New("sap: malformed payload type")
+)
+
+// Packet is one SAP message. The zero value is an IPv4 announcement with
+// no payload.
+type Packet struct {
+	Type MessageType
+	// MsgIDHash, with Origin, identifies one version of one announcement;
+	// it changes whenever the payload changes (RFC 2974 §5).
+	MsgIDHash uint16
+	// Origin is the announcing host (IPv4).
+	Origin netip.Addr
+	// PayloadType is the MIME type; empty means PayloadTypeSDP implied.
+	PayloadType string
+	// Payload is the session description. After Decode it aliases the
+	// input buffer.
+	Payload []byte
+}
+
+// MsgIDHashOf computes the 16-bit message id hash of a payload: a stable
+// non-cryptographic fold, sufficient to distinguish payload versions.
+func MsgIDHashOf(payload []byte) uint16 {
+	var h uint32 = 0x811c
+	for _, b := range payload {
+		h = (h*31 + uint32(b)) & 0xffffffff
+	}
+	return uint16(h ^ (h >> 16))
+}
+
+// Marshal appends the wire form of p to dst and returns the result.
+// The origin must be IPv4.
+func (p *Packet) Marshal(dst []byte) ([]byte, error) {
+	if !p.Origin.Is4() {
+		return nil, fmt.Errorf("%w (origin %s)", ErrIPv6, p.Origin)
+	}
+	flags := byte(Version << flagVersionShift)
+	if p.Type == Delete {
+		flags |= flagMessageType
+	}
+	dst = append(dst, flags, 0) // auth len 0
+	dst = binary.BigEndian.AppendUint16(dst, p.MsgIDHash)
+	o := p.Origin.As4()
+	dst = append(dst, o[:]...)
+	pt := p.PayloadType
+	if pt == "" {
+		pt = PayloadTypeSDP
+	}
+	dst = append(dst, pt...)
+	dst = append(dst, 0)
+	dst = append(dst, p.Payload...)
+	return dst, nil
+}
+
+// Decode parses data into p. The payload (and payload type) alias data.
+func (p *Packet) Decode(data []byte) error {
+	if len(data) < headerLenIPv4 {
+		return fmt.Errorf("%w (%d bytes)", ErrTooShort, len(data))
+	}
+	flags := data[0]
+	if v := flags >> flagVersionShift; v != Version {
+		return fmt.Errorf("%w (%d)", ErrBadVersion, v)
+	}
+	if flags&flagAddrType != 0 {
+		return ErrIPv6
+	}
+	if flags&flagEncrypted != 0 {
+		return ErrEncrypted
+	}
+	if flags&flagCompressed != 0 {
+		return ErrCompressed
+	}
+	if flags&flagMessageType != 0 {
+		p.Type = Delete
+	} else {
+		p.Type = Announce
+	}
+	authLen := int(data[1]) * 4 // auth length is in 32-bit words
+	p.MsgIDHash = binary.BigEndian.Uint16(data[2:4])
+	p.Origin = netip.AddrFrom4([4]byte(data[4:8]))
+	rest := data[8:]
+	if len(rest) < authLen {
+		return fmt.Errorf("%w (auth data truncated)", ErrTooShort)
+	}
+	rest = rest[authLen:] // authentication data is skipped, not verified
+
+	// Optional payload type: a NUL-terminated MIME string. Heuristic per
+	// RFC 2974: if the payload starts with what looks like a MIME type
+	// (contains '/' before any NUL) treat it as one; SDP payloads start
+	// with "v=0" and contain no NUL-terminated prefix.
+	p.PayloadType = ""
+	p.Payload = rest
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == 0 {
+			candidate := rest[:i]
+			if !looksLikeMIME(candidate) {
+				return fmt.Errorf("%w (%q)", ErrBadPayload, candidate)
+			}
+			p.PayloadType = string(candidate)
+			p.Payload = rest[i+1:]
+			break
+		}
+		if rest[i] == '\n' || rest[i] == '\r' {
+			// Reached payload body without a NUL: no payload type field.
+			break
+		}
+	}
+	return nil
+}
+
+func looksLikeMIME(b []byte) bool {
+	slash := false
+	for _, c := range b {
+		switch {
+		case c == '/':
+			slash = true
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '-', c == '+', c == '.':
+		default:
+			return false
+		}
+	}
+	return slash && len(b) >= 3
+}
+
+// EffectivePayloadType returns the payload type, defaulting to SDP.
+func (p *Packet) EffectivePayloadType() string {
+	if p.PayloadType == "" {
+		return PayloadTypeSDP
+	}
+	return p.PayloadType
+}

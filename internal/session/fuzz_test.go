@@ -1,0 +1,33 @@
+package session
+
+import "testing"
+
+func FuzzParseSDP(f *testing.F) {
+	valid, _ := sampleDesc().MarshalSDP()
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("v=0\no=- 1 1 IN IP4 10.0.0.1\ns=x\nc=IN IP4 224.1.2.3/15\nt=0 0\n"))
+	f.Add([]byte("v=0\r\nb=AS:12\r\na=tool:x\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseSDP(data) // must not panic
+		if err != nil {
+			return
+		}
+		// Anything that parses must validate and re-marshal.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parsed description fails validation: %v", err)
+		}
+		out, err := d.MarshalSDP()
+		if err != nil {
+			t.Fatalf("parsed description fails to marshal: %v", err)
+		}
+		// And the re-marshalled form must parse to the same identity.
+		d2, err := ParseSDP(out)
+		if err != nil {
+			t.Fatalf("re-marshalled SDP fails to parse: %v\n%s", err, out)
+		}
+		if d2.Key() != d.Key() || d2.Version != d.Version || d2.Group != d.Group {
+			t.Fatalf("identity drifted: %s/%d vs %s/%d", d.Key(), d.Version, d2.Key(), d2.Version)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package session
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+// This file implements the SDP subset sdr announcements use:
+//
+//	v=0
+//	o=<user> <sess-id> <sess-version> IN IP4 <origin>
+//	s=<name>
+//	i=<info>                (optional)
+//	c=IN IP4 <group>/<ttl>
+//	t=<start> <stop>        (NTP timestamps; 0 = unbounded)
+//	m=<type> <port> <proto> <format>  (repeated)
+//
+// Times use the NTP epoch (1900-01-01) per SDP convention.
+
+// ntpEpochOffset is the difference between the NTP and Unix epochs.
+const ntpEpochOffset = 2208988800
+
+func toNTP(t time.Time) uint64 {
+	if t.IsZero() {
+		return 0
+	}
+	return uint64(t.Unix() + ntpEpochOffset)
+}
+
+func fromNTP(v uint64) time.Time {
+	if v == 0 {
+		return time.Time{}
+	}
+	return time.Unix(int64(v)-ntpEpochOffset, 0).UTC()
+}
+
+// MarshalSDP renders the description in SDP form.
+func (d *Description) MarshalSDP() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	user := d.OriginUser
+	if user == "" {
+		user = "-"
+	}
+	fmt.Fprintf(&b, "v=0\r\n")
+	fmt.Fprintf(&b, "o=%s %d %d IN IP4 %s\r\n", user, d.ID, d.Version, d.Origin)
+	fmt.Fprintf(&b, "s=%s\r\n", sanitizeLine(d.Name))
+	if d.Info != "" {
+		fmt.Fprintf(&b, "i=%s\r\n", sanitizeLine(d.Info))
+	}
+	fmt.Fprintf(&b, "c=IN IP4 %s/%d\r\n", d.Group, d.TTL)
+	if d.BandwidthKbps > 0 {
+		fmt.Fprintf(&b, "b=AS:%d\r\n", d.BandwidthKbps)
+	}
+	fmt.Fprintf(&b, "t=%d %d\r\n", toNTP(d.Start), toNTP(d.Stop))
+	for _, a := range d.Attributes {
+		fmt.Fprintf(&b, "a=%s\r\n", sanitizeLine(a))
+	}
+	for _, m := range d.Media {
+		fmt.Fprintf(&b, "m=%s %d %s %s\r\n", m.Type, m.Port, m.Proto, m.Format)
+		for _, a := range m.Attributes {
+			fmt.Fprintf(&b, "a=%s\r\n", sanitizeLine(a))
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// sanitizeLine strips CR/LF so free-text fields cannot break framing.
+func sanitizeLine(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\r' || r == '\n' {
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+// ParseSDP parses the SDP subset back into a Description.
+func ParseSDP(data []byte) (*Description, error) {
+	d := &Description{}
+	sawV, sawO, sawS, sawC, sawT := false, false, false, false, false
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if line == "" {
+			continue
+		}
+		if len(line) < 2 || line[1] != '=' {
+			return nil, fmt.Errorf("sdp: line %d: malformed %q", lineNo+1, line)
+		}
+		key, val := line[0], line[2:]
+		switch key {
+		case 'v':
+			if val != "0" {
+				return nil, fmt.Errorf("sdp: unsupported version %q", val)
+			}
+			sawV = true
+		case 'o':
+			f := strings.Fields(val)
+			if len(f) != 6 || f[3] != "IN" || f[4] != "IP4" {
+				return nil, fmt.Errorf("sdp: malformed origin %q", val)
+			}
+			id, err := strconv.ParseUint(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: origin sess-id: %w", err)
+			}
+			ver, err := strconv.ParseUint(f[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: origin sess-version: %w", err)
+			}
+			addr, err := netip.ParseAddr(f[5])
+			if err != nil {
+				return nil, fmt.Errorf("sdp: origin address: %w", err)
+			}
+			d.OriginUser, d.ID, d.Version, d.Origin = f[0], id, ver, addr
+			sawO = true
+		case 's':
+			d.Name = val
+			sawS = true
+		case 'i':
+			d.Info = val
+		case 'c':
+			f := strings.Fields(val)
+			if len(f) != 3 || f[0] != "IN" || f[1] != "IP4" {
+				return nil, fmt.Errorf("sdp: malformed connection %q", val)
+			}
+			addrTTL := strings.SplitN(f[2], "/", 2)
+			addr, err := netip.ParseAddr(addrTTL[0])
+			if err != nil {
+				return nil, fmt.Errorf("sdp: connection address: %w", err)
+			}
+			d.Group = addr
+			if len(addrTTL) == 2 {
+				ttl, err := strconv.ParseUint(addrTTL[1], 10, 8)
+				if err != nil {
+					return nil, fmt.Errorf("sdp: connection TTL: %w", err)
+				}
+				d.TTL = mcast.TTL(ttl)
+			}
+			sawC = true
+		case 't':
+			f := strings.Fields(val)
+			if len(f) != 2 {
+				return nil, fmt.Errorf("sdp: malformed time %q", val)
+			}
+			start, err := strconv.ParseUint(f[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: start time: %w", err)
+			}
+			stop, err := strconv.ParseUint(f[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: stop time: %w", err)
+			}
+			d.Start, d.Stop = fromNTP(start), fromNTP(stop)
+			sawT = true
+		case 'b':
+			// Only the AS (application-specific, kbps) modifier is used.
+			if rest, ok := strings.CutPrefix(val, "AS:"); ok {
+				kbps, err := strconv.Atoi(rest)
+				if err != nil || kbps < 0 {
+					return nil, fmt.Errorf("sdp: malformed bandwidth %q", val)
+				}
+				d.BandwidthKbps = kbps
+			}
+		case 'a':
+			// Attributes attach to the most recent m= line, or to the
+			// session if none has appeared yet.
+			if len(d.Media) > 0 {
+				m := &d.Media[len(d.Media)-1]
+				m.Attributes = append(m.Attributes, val)
+			} else {
+				d.Attributes = append(d.Attributes, val)
+			}
+		case 'm':
+			f := strings.Fields(val)
+			if len(f) < 4 {
+				return nil, fmt.Errorf("sdp: malformed media %q", val)
+			}
+			port, err := strconv.ParseUint(f[1], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("sdp: media port: %w", err)
+			}
+			d.Media = append(d.Media, Media{
+				Type:   f[0],
+				Port:   uint16(port),
+				Proto:  f[2],
+				Format: strings.Join(f[3:], " "),
+			})
+		default:
+			// Unknown lines are ignored, as SDP requires.
+		}
+	}
+	if !sawV || !sawO || !sawS || !sawC || !sawT {
+		return nil, fmt.Errorf("sdp: missing mandatory line (v/o/s/c/t)")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

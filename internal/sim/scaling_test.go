@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// TestFig5ScalingExponents asserts the paper's headline Figure-5 claim as
+// fitted power-law exponents over the space-size sweep:
+//
+//	R (and IR) achieve a mean allocation of O(√n) before a clash;
+//	IPR 7-band achieves an optimal mean allocation of O(n).
+func TestFig5ScalingExponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	g := testMbone(t, 600)
+	spaces := []uint32{64, 128, 256, 512, 1024}
+	trials := 24
+
+	exponent := func(mk func(size uint32) allocator.Allocator) float64 {
+		pts := RunFig5(Fig5Config{
+			Graph:      g,
+			SpaceSizes: spaces,
+			Dists:      []mcast.TTLDistribution{mcast.DS4()},
+			MakeAlloc:  mk,
+			Trials:     trials,
+			Seed:       99,
+		})
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = float64(p.SpaceSize)
+			ys[i] = p.MeanAllocs
+		}
+		b, _, err := stats.PowerLawFit(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	bR := exponent(func(size uint32) allocator.Allocator { return allocator.NewRandom(size) })
+	bIPR7 := exponent(func(size uint32) allocator.Allocator {
+		return allocator.NewStaticPartitioned(size, allocator.IPR7Separators())
+	})
+
+	// The birthday regime: exponent near 1/2 (scoped reuse pushes it a bit
+	// above pure birthday, but far from linear).
+	if bR < 0.3 || bR > 0.75 {
+		t.Fatalf("R exponent %.2f, want ≈0.5", bR)
+	}
+	// Perfect partitioning: near-linear scaling.
+	if bIPR7 < 0.85 || bIPR7 > 1.15 {
+		t.Fatalf("IPR7 exponent %.2f, want ≈1.0", bIPR7)
+	}
+	if bIPR7-bR < 0.25 {
+		t.Fatalf("exponent separation too small: R=%.2f IPR7=%.2f", bR, bIPR7)
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"fmt"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+// A Workload generates session origins and scopes for the steady-state
+// experiments: the initial population and each churn replacement.
+type Workload interface {
+	// New draws a fresh session placement.
+	New(rng *stats.RNG) (topology.NodeID, mcast.TTL)
+	// Replace draws the placement of the session replacing a departed one.
+	Replace(departed Session, rng *stats.RNG) (topology.NodeID, mcast.TTL)
+	// Name labels the workload in experiment output.
+	Name() string
+}
+
+// RandomWorkload is the paper's Figure-12 churn: origins uniform over the
+// topology, TTLs i.i.d. from the distribution — maximal variation in where
+// low-TTL sessions live, which §2.6 suspects is harsher than reality.
+type RandomWorkload struct {
+	Graph *topology.Graph
+	Dist  mcast.TTLDistribution
+}
+
+// New implements Workload.
+func (w RandomWorkload) New(rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	return topology.NodeID(rng.IntN(w.Graph.NumNodes())), w.Dist.Sample(rng.IntN)
+}
+
+// Replace implements Workload (fresh draw, ignoring the departed session).
+func (w RandomWorkload) Replace(_ Session, rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	return w.New(rng)
+}
+
+// Name implements Workload.
+func (w RandomWorkload) Name() string { return "random(" + w.Dist.Name + ")" }
+
+// SameSiteWorkload is the Figure-13 upper bound: a replacement keeps the
+// departed session's source and TTL.
+type SameSiteWorkload struct {
+	Inner Workload
+}
+
+// New implements Workload.
+func (w SameSiteWorkload) New(rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	return w.Inner.New(rng)
+}
+
+// Replace implements Workload.
+func (w SameSiteWorkload) Replace(departed Session, _ *stats.RNG) (topology.NodeID, mcast.TTL) {
+	return departed.Origin, departed.TTL
+}
+
+// Name implements Workload.
+func (w SameSiteWorkload) Name() string { return "same-site(" + w.Inner.Name() + ")" }
+
+// Community is a user population with a home region and a habitual scope —
+// §2.6's postulate: "a particular community chooses a TTL for their
+// sessions and the number of sessions that community creates varies within
+// more restricted bounds".
+type Community struct {
+	Name  string
+	Nodes []topology.NodeID
+	TTL   mcast.TTL
+	// Weight is the community's share of the session population
+	// (proportional; needs not sum to anything).
+	Weight float64
+}
+
+// CommunityWorkload draws sessions from communities and replaces departed
+// sessions *within the departed session's community*, keeping each
+// community's session count — and therefore each TTL band's occupancy and
+// locality — stable.
+type CommunityWorkload struct {
+	Communities []Community
+	// A node may belong to several communities (its country's site
+	// community, its continent's, the global one, ...); the departed
+	// session's TTL disambiguates which community it came from.
+	byNodeTTL map[nodeTTL]int
+}
+
+type nodeTTL struct {
+	node topology.NodeID
+	ttl  mcast.TTL
+}
+
+// NewCommunityWorkload validates and indexes the communities.
+func NewCommunityWorkload(communities []Community) (*CommunityWorkload, error) {
+	if len(communities) == 0 {
+		return nil, fmt.Errorf("sim: no communities")
+	}
+	w := &CommunityWorkload{
+		Communities: communities,
+		byNodeTTL:   make(map[nodeTTL]int),
+	}
+	for i, c := range communities {
+		if len(c.Nodes) == 0 {
+			return nil, fmt.Errorf("sim: community %q has no nodes", c.Name)
+		}
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("sim: community %q has non-positive weight", c.Name)
+		}
+		for _, n := range c.Nodes {
+			key := nodeTTL{n, c.TTL}
+			if _, dup := w.byNodeTTL[key]; dup {
+				return nil, fmt.Errorf("sim: node %d belongs to two communities with TTL %d", n, c.TTL)
+			}
+			w.byNodeTTL[key] = i
+		}
+	}
+	return w, nil
+}
+
+// New implements Workload.
+func (w *CommunityWorkload) New(rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	choices := make([]stats.WeightedChoice[int], len(w.Communities))
+	for i, c := range w.Communities {
+		choices[i] = stats.WeightedChoice[int]{Value: i, Weight: c.Weight}
+	}
+	return w.fromCommunity(stats.PickWeighted(rng, choices), rng)
+}
+
+// Replace implements Workload: the replacement stays in the community.
+func (w *CommunityWorkload) Replace(departed Session, rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	if ci, ok := w.byNodeTTL[nodeTTL{departed.Origin, departed.TTL}]; ok {
+		return w.fromCommunity(ci, rng)
+	}
+	return w.New(rng)
+}
+
+func (w *CommunityWorkload) fromCommunity(ci int, rng *stats.RNG) (topology.NodeID, mcast.TTL) {
+	c := w.Communities[ci]
+	return stats.Pick(rng, c.Nodes), c.TTL
+}
+
+// Name implements Workload.
+func (w *CommunityWorkload) Name() string {
+	return fmt.Sprintf("community(%d)", len(w.Communities))
+}
+
+// CommunitiesFromCountries builds a community structure from an Mbone's
+// labels whose *marginal* TTL distribution matches DS4 exactly — so a
+// comparison against RandomWorkload(DS4) isolates the clustering effect
+// §2.6 postulates (stable per-community counts and locations) from any
+// change in the scope mix. Local scopes (TTL 1/15/31/47) get one community
+// per country, continental scope (63) one per continent, and the wide
+// scopes (127/191) are global communities.
+func CommunitiesFromCountries(g *topology.Graph) ([]Community, error) {
+	zones, err := topology.ZonesFromCountries(g)
+	if err != nil {
+		return nil, err
+	}
+	// DS4 weights: {1×8, 15×6, 31×2, 47×2, 63×2, 127×1, 191×1} of 22.
+	localShare := map[mcast.TTL]float64{1: 8, 15: 6, 31: 2, 47: 2}
+	var out []Community
+	for _, z := range zones {
+		nodes := z.Members().Members()
+		for ttl, share := range localShare {
+			out = append(out, Community{
+				Name:   fmt.Sprintf("%s/ttl%d", z.Name, ttl),
+				Nodes:  nodes,
+				TTL:    ttl,
+				Weight: share * float64(len(nodes)),
+			})
+		}
+	}
+	byContinent := map[string][]topology.NodeID{}
+	var all []topology.NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		c := g.Nodes[i].Continent
+		byContinent[c] = append(byContinent[c], topology.NodeID(i))
+		all = append(all, topology.NodeID(i))
+	}
+	for name, nodes := range byContinent {
+		out = append(out, Community{
+			Name:   name + "/ttl63",
+			Nodes:  nodes,
+			TTL:    63,
+			Weight: 2 * float64(len(nodes)),
+		})
+	}
+	out = append(out,
+		Community{Name: "world/ttl127", Nodes: all, TTL: 127, Weight: 1 * float64(len(all))},
+		Community{Name: "world/ttl191", Nodes: all, TTL: 191, Weight: 1 * float64(len(all))},
+	)
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+func TestRandomWorkload(t *testing.T) {
+	g := testMbone(t, 400)
+	w := RandomWorkload{Graph: g, Dist: mcast.DS4()}
+	rng := stats.NewRNG(1)
+	seenTTL := map[mcast.TTL]bool{}
+	for i := 0; i < 500; i++ {
+		origin, ttl := w.New(rng)
+		if int(origin) < 0 || int(origin) >= g.NumNodes() {
+			t.Fatalf("origin %d out of range", origin)
+		}
+		seenTTL[ttl] = true
+	}
+	if len(seenTTL) != 7 {
+		t.Fatalf("saw %d distinct TTLs, want 7", len(seenTTL))
+	}
+	if w.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestSameSiteWorkload(t *testing.T) {
+	g := testMbone(t, 400)
+	w := SameSiteWorkload{Inner: RandomWorkload{Graph: g, Dist: mcast.DS4()}}
+	rng := stats.NewRNG(2)
+	departed := Session{Origin: 17, TTL: 47}
+	for i := 0; i < 10; i++ {
+		origin, ttl := w.Replace(departed, rng)
+		if origin != 17 || ttl != 47 {
+			t.Fatalf("replacement moved: %d/%d", origin, ttl)
+		}
+	}
+	if w.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestCommunityWorkloadValidation(t *testing.T) {
+	if _, err := NewCommunityWorkload(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewCommunityWorkload([]Community{{Name: "x", Weight: 1}}); err == nil {
+		t.Fatal("nodeless community accepted")
+	}
+	if _, err := NewCommunityWorkload([]Community{{Name: "x", Nodes: []topology.NodeID{1}, Weight: 0}}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestCommunityWorkloadStability(t *testing.T) {
+	communities := []Community{
+		{Name: "a", Nodes: []topology.NodeID{0, 1, 2}, TTL: 15, Weight: 1},
+		{Name: "b", Nodes: []topology.NodeID{10, 11}, TTL: 127, Weight: 1},
+	}
+	w, err := NewCommunityWorkload(communities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	// Replacement stays in the departed session's community: same TTL,
+	// origin from the same node set.
+	for i := 0; i < 100; i++ {
+		origin, ttl := w.Replace(Session{Origin: 1, TTL: 15}, rng)
+		if ttl != 15 || int(origin) > 2 {
+			t.Fatalf("replacement left community a: %d/%d", origin, ttl)
+		}
+		origin, ttl = w.Replace(Session{Origin: 11, TTL: 127}, rng)
+		if ttl != 127 || origin != 10 && origin != 11 {
+			t.Fatalf("replacement left community b: %d/%d", origin, ttl)
+		}
+	}
+	// Unknown origin falls back to a fresh draw without panicking.
+	if _, ttl := w.Replace(Session{Origin: 99, TTL: 1}, rng); ttl != 15 && ttl != 127 {
+		t.Fatalf("fallback TTL %d", ttl)
+	}
+}
+
+func TestCommunitiesFromCountries(t *testing.T) {
+	g := testMbone(t, 400)
+	comms, err := CommunitiesFromCountries(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 local scopes per country + 1 per continent + 2 global.
+	zones, _ := topology.ZonesFromCountries(g)
+	if len(comms) < 4*len(zones)+3 {
+		t.Fatalf("communities = %d for %d zones", len(comms), len(zones))
+	}
+	for _, c := range comms {
+		if len(c.Nodes) == 0 || c.Weight <= 0 {
+			t.Fatalf("degenerate community %+v", c.Name)
+		}
+	}
+	// The marginal TTL distribution must match DS4.
+	w, err := NewCommunityWorkload(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(4)
+	counts := map[mcast.TTL]int{}
+	const draws = 44000
+	for i := 0; i < draws; i++ {
+		origin, ttl := w.New(rng)
+		if int(origin) >= g.NumNodes() {
+			t.Fatalf("origin %d out of range", origin)
+		}
+		counts[ttl]++
+	}
+	wantShare := map[mcast.TTL]float64{1: 8, 15: 6, 31: 2, 47: 2, 63: 2, 127: 1, 191: 1}
+	for ttl, share := range wantShare {
+		got := float64(counts[ttl]) / draws
+		want := share / 22
+		if got < want*0.85 || got > want*1.15 {
+			t.Fatalf("TTL %d share %.4f, DS4 says %.4f", ttl, got, want)
+		}
+	}
+}
+
+// TestClusteringPostulate checks §2.6's conjecture as implemented: under
+// community churn (stable per-band populations) the small-gap adaptive
+// allocator sustains at least as many sessions as under fully random
+// churn, typically more.
+func TestClusteringPostulate(t *testing.T) {
+	g := testMbone(t, 400)
+	cache := topology.NewReachCache(g)
+	comms, err := CommunitiesFromCountries(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := NewCommunityWorkload(comms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() allocator.Allocator {
+		return allocator.NewAdaptive(256, allocator.AdaptiveConfig{GapFraction: 0.2})
+	}
+	const n = 80
+	rng := stats.NewRNG(5)
+	pRandom := ClashProbability(g, cache, SteadyStateConfig{
+		Alloc: mk(), Dist: mcast.DS4(), Sessions: n,
+	}, 12, rng.Split())
+	pCluster := ClashProbability(g, cache, SteadyStateConfig{
+		Alloc: mk(), Sessions: n, Workload: cw,
+	}, 12, rng.Split())
+	if pCluster > pRandom+0.3 {
+		t.Fatalf("clustered churn (%v) much worse than random (%v)", pCluster, pRandom)
+	}
+}

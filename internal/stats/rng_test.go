@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical streams")
+	}
+	// Determinism of splits: same construction → same child stream.
+	p2 := NewRNG(7)
+	d1 := p2.Split()
+	e1 := NewRNG(7).Split()
+	if d1.Uint64() != e1.Uint64() {
+		t.Fatal("split is not deterministic")
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	g := NewRNG(3)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := g.IntN(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	g := NewRNG(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %v", p)
+	}
+	if g.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	if g.Bool(-0.5) {
+		t.Fatal("Bool(-0.5) returned true")
+	}
+	if !g.Bool(1.5) {
+		t.Fatal("Bool(1.5) returned false")
+	}
+}
+
+func TestPick(t *testing.T) {
+	g := NewRNG(9)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		seen[Pick(g, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick only produced %v", seen)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	g := NewRNG(13)
+	choices := []WeightedChoice[string]{
+		{Value: "rare", Weight: 1},
+		{Value: "common", Weight: 9},
+		{Value: "never", Weight: 0},
+		{Value: "negative", Weight: -3},
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[PickWeighted(g, choices)]++
+	}
+	if counts["never"] != 0 || counts["negative"] != 0 {
+		t.Fatalf("zero/negative weight sampled: %v", counts)
+	}
+	frac := float64(counts["common"]) / n
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("common frequency %v, want ~0.9", frac)
+	}
+}
+
+func TestPickWeightedPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PickWeighted(NewRNG(1), []WeightedChoice[int]{{Value: 1, Weight: 0}})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(17)
+	p := g.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func summaryOf(xs ...float64) *Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+func TestWelchTKnownCase(t *testing.T) {
+	// Classic textbook case: clearly separated samples.
+	a := summaryOf(27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4)
+	b := summaryOf(27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9)
+	tt, df := WelchT(a, b)
+	// Reference values computed independently: t ≈ -2.835, df ≈ 27.71.
+	if math.Abs(tt+2.835) > 0.01 {
+		t.Fatalf("t = %v, want ≈ -2.835", tt)
+	}
+	if math.Abs(df-27.71) > 0.1 {
+		t.Fatalf("df = %v, want ≈ 27.71", df)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	small := summaryOf(1)
+	other := summaryOf(1, 2, 3)
+	if tt, _ := WelchT(small, other); !math.IsNaN(tt) {
+		t.Fatal("tiny sample should be NaN")
+	}
+	same := summaryOf(5, 5, 5)
+	if tt, _ := WelchT(same, summaryOf(5, 5, 5)); tt != 0 {
+		t.Fatalf("identical constant samples: t = %v", tt)
+	}
+	if tt, _ := WelchT(summaryOf(5, 5, 5), summaryOf(6, 6, 6)); !math.IsInf(tt, 1) && !math.IsInf(tt, -1) {
+		t.Fatalf("distinct constant samples: t = %v", tt)
+	}
+}
+
+func TestSignificantlyGreater(t *testing.T) {
+	rng := NewRNG(3)
+	var big, small Summary
+	for i := 0; i < 40; i++ {
+		big.Add(100 + rng.NormFloat64()*5)
+		small.Add(50 + rng.NormFloat64()*5)
+	}
+	if !SignificantlyGreater(&big, &small) {
+		t.Fatal("clear separation not detected")
+	}
+	if SignificantlyGreater(&small, &big) {
+		t.Fatal("reversed comparison accepted")
+	}
+	// Overlapping samples from the same distribution: rarely significant.
+	var x, y Summary
+	for i := 0; i < 40; i++ {
+		x.Add(rng.NormFloat64())
+		y.Add(rng.NormFloat64())
+	}
+	if SignificantlyGreater(&x, &y) && SignificantlyGreater(&y, &x) {
+		t.Fatal("both directions significant")
+	}
+	if SignificantlyGreater(summaryOf(1), summaryOf(0)) {
+		t.Fatal("tiny samples should never be significant")
+	}
+}

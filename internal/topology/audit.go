@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"sessiondir/internal/mcast"
+)
+
+// Scope auditing: the paper's Figure 3 shows how *inconsistent TTL
+// boundary policies* (the UK's TTL-48 borders vs the US's lack of them)
+// defeat partitioned allocation — a Scandinavian allocator cannot see UK
+// TTL-47 sessions yet its TTL-63 sessions reach the UK. AuditScopes finds
+// such hazards in a topology: pairs of TTL values sharing an allocation
+// partition where one side's sessions are invisible to the other side's
+// allocators despite overlapping scopes.
+
+// ScopeHazard is one detected Figure-3 situation.
+type ScopeHazard struct {
+	// AllocSite cannot see sessions announced by HiddenSite at HiddenTTL,
+	// yet AllocSite's sessions at AllocTTL reach HiddenSite — and both
+	// TTLs fall into the same allocation partition, so an address clash
+	// is possible despite "informed" allocation.
+	AllocSite, HiddenSite NodeID
+	AllocTTL, HiddenTTL   mcast.TTL
+	Partition             int
+}
+
+// String implements fmt.Stringer.
+func (h ScopeHazard) String() string {
+	return fmt.Sprintf("site %d (ttl %d) cannot see site %d (ttl %d) in partition %d",
+		h.AllocSite, h.AllocTTL, h.HiddenSite, h.HiddenTTL, h.Partition)
+}
+
+// AuditConfig parameterises an audit.
+type AuditConfig struct {
+	// TTLs are the session scopes in use (e.g. a workload's Support()).
+	TTLs []mcast.TTL
+	// PartitionOf maps a TTL to its allocation partition (e.g. an IPR
+	// band index or a PartitionMap class).
+	PartitionOf func(mcast.TTL) int
+	// Sites are the sampled allocator locations (nil = every node —
+	// quadratic in the graph size, so sample for big maps).
+	Sites []NodeID
+	// MaxHazards caps the report (0 = 100).
+	MaxHazards int
+}
+
+// AuditScopes scans a topology for Figure-3 hazards. A topology free of
+// hazards for a given partitioning satisfies the premise that makes
+// informed partitioned allocation clash-free under perfect announcement.
+func AuditScopes(g *Graph, cfg AuditConfig) []ScopeHazard {
+	if cfg.PartitionOf == nil {
+		panic("topology: AuditConfig.PartitionOf is required")
+	}
+	maxHazards := cfg.MaxHazards
+	if maxHazards == 0 {
+		maxHazards = 100
+	}
+	sites := cfg.Sites
+	if sites == nil {
+		sites = make([]NodeID, g.NumNodes())
+		for i := range sites {
+			sites[i] = NodeID(i)
+		}
+	}
+	ttls := append([]mcast.TTL(nil), cfg.TTLs...)
+	sort.Slice(ttls, func(i, j int) bool { return ttls[i] < ttls[j] })
+
+	cache := NewReachCache(g)
+	var hazards []ScopeHazard
+	for _, hidden := range sites {
+		for _, hiddenTTL := range ttls {
+			hiddenReach := cache.Reach(hidden, hiddenTTL)
+			for _, alloc := range sites {
+				if alloc == hidden || hiddenReach.Contains(alloc) {
+					continue // the allocator hears these announcements: no hazard
+				}
+				for _, allocTTL := range ttls {
+					if cfg.PartitionOf(allocTTL) != cfg.PartitionOf(hiddenTTL) {
+						continue // different partitions cannot collide
+					}
+					if allocTTL <= hiddenTTL {
+						continue // report each pair once, from the wider side
+					}
+					if cache.Reach(alloc, allocTTL).Intersects(hiddenReach) {
+						hazards = append(hazards, ScopeHazard{
+							AllocSite:  alloc,
+							HiddenSite: hidden,
+							AllocTTL:   allocTTL,
+							HiddenTTL:  hiddenTTL,
+							Partition:  cfg.PartitionOf(allocTTL),
+						})
+						if len(hazards) >= maxHazards {
+							return hazards
+						}
+					}
+				}
+			}
+		}
+	}
+	return hazards
+}

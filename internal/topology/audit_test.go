@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"testing"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// ipr3Partition mirrors the IPR 3-band mapping (separators 15 and 64).
+func ipr3Partition(t mcast.TTL) int {
+	switch {
+	case t < 15:
+		return 0
+	case t < 64:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ipr7Partition mirrors IPR 7-band (separators 2, 16, 32, 48, 64, 128).
+func ipr7Partition(t mcast.TTL) int {
+	b := 0
+	for _, s := range []mcast.TTL{2, 16, 32, 48, 64, 128} {
+		if t >= s {
+			b++
+		}
+	}
+	return b
+}
+
+// TestAuditFindsFigure3Hazard: on the Mbone, TTL 47 and TTL 63 share an
+// IPR-3 band, and a Scandinavian TTL-63 allocator cannot see UK TTL-47
+// sessions — the audit must surface exactly that class of hazard.
+func TestAuditFindsFigure3Hazard(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 400}, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample sites: a few from each European country plus the US.
+	var sites []NodeID
+	for _, c := range []string{"UK", "Scandinavia", "Germany", "US"} {
+		nodes := NodesInCountry(g, c)
+		for i := 0; i < 3 && i < len(nodes); i++ {
+			sites = append(sites, nodes[i])
+		}
+	}
+	hazards := AuditScopes(g, AuditConfig{
+		TTLs:        []mcast.TTL{47, 63},
+		PartitionOf: ipr3Partition,
+		Sites:       sites,
+	})
+	if len(hazards) == 0 {
+		t.Fatal("IPR-3 partitioning on the Mbone must show Figure-3 hazards")
+	}
+	found47 := false
+	for _, h := range hazards {
+		if h.AllocTTL != 63 || h.HiddenTTL != 47 {
+			t.Fatalf("unexpected hazard pair: %v", h)
+		}
+		if g.Nodes[h.HiddenSite].Continent != "Europe" {
+			t.Fatalf("hidden TTL-47 site outside Europe: %v", h)
+		}
+		found47 = true
+		if h.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+	if !found47 {
+		t.Fatal("no 47-vs-63 hazard found")
+	}
+}
+
+// TestAuditPerfectPartitioningIsClean: with IPR-7 every workload TTL has
+// its own band, so no same-partition hazard can exist.
+func TestAuditPerfectPartitioningIsClean(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 400}, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	var sites []NodeID
+	for i := 0; i < 25; i++ {
+		sites = append(sites, NodeID(rng.IntN(g.NumNodes())))
+	}
+	hazards := AuditScopes(g, AuditConfig{
+		TTLs:        []mcast.TTL{1, 15, 31, 47, 63, 127, 191},
+		PartitionOf: ipr7Partition,
+		Sites:       sites,
+	})
+	if len(hazards) != 0 {
+		t.Fatalf("perfect partitioning reported hazards: %v", hazards[0])
+	}
+}
+
+func TestAuditMaxHazardsCap(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 400}, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hazards := AuditScopes(g, AuditConfig{
+		TTLs:        []mcast.TTL{47, 63},
+		PartitionOf: func(mcast.TTL) int { return 0 }, // everything shares one partition
+		Sites:       nil,                              // all nodes — would explode without the cap
+		MaxHazards:  5,
+	})
+	if len(hazards) != 5 {
+		t.Fatalf("cap not applied: %d", len(hazards))
+	}
+}
+
+func TestAuditRequiresPartitionFunc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AuditScopes(NewGraph(2), AuditConfig{TTLs: []mcast.TTL{1}})
+}

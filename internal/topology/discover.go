@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"sessiondir/internal/stats"
+)
+
+// This file reproduces the paper's data pipeline. The Mbone map came from
+// mcollect/mwatch, which queried each known mrouter (mrinfo-style) for its
+// tunnel list — and the paper notes the result was incomplete: "some
+// mrouters do not have unicast routes to the mwatch daemon", so
+// unresponsive routers' links were only seen from the far end, and "any
+// disconnected subtrees of the network were removed" before simulating.
+//
+// Discover models that: a crawl from a monitor node where each router
+// responds with some probability; non-responders contribute only the link
+// endpoints their neighbours report. CleanMap then applies the paper's
+// largest-connected-component cleanup.
+
+// DiscoverConfig parameterises a crawl.
+type DiscoverConfig struct {
+	// Monitor is the crawling daemon's home router.
+	Monitor NodeID
+	// ResponseProb is the chance a router answers the monitor's query
+	// (1 = perfect map). The paper's map missed part of the Mbone.
+	ResponseProb float64
+	Seed         uint64
+}
+
+// Discover crawls g and returns the discovered map. Nodes keep their ids
+// and labels; links are included when at least one endpoint responded.
+// Unreachable or silent regions come back disconnected or missing, exactly
+// like a real mcollect run.
+func Discover(g *Graph, cfg DiscoverConfig) *Graph {
+	rng := stats.NewRNG(cfg.Seed ^ 0xd15c)
+	n := g.NumNodes()
+	responds := make([]bool, n)
+	for i := range responds {
+		responds[i] = rng.Bool(cfg.ResponseProb)
+	}
+	responds[cfg.Monitor] = true // the monitor can always query itself
+
+	out := NewGraph(n)
+	copy(out.Nodes, g.Nodes)
+
+	// Crawl: start from the monitor; query every responding router we
+	// learn about; a response reveals all of that router's links (both
+	// endpoints become known). Silent routers are known only if a
+	// neighbour revealed them, and reveal nothing themselves.
+	type linkKey struct{ a, b NodeID }
+	seenLink := map[linkKey]bool{}
+	visited := make([]bool, n)
+	queue := []NodeID{cfg.Monitor}
+	visited[cfg.Monitor] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if !responds[u] {
+			continue // known but silent: contributes no link reports
+		}
+		for _, e := range g.Neighbors(u) {
+			a, b := u, e.To
+			if a > b {
+				a, b = b, a
+			}
+			k := linkKey{a, b}
+			if !seenLink[k] {
+				seenLink[k] = true
+				out.MustAddLink(a, b, e.Metric, e.Threshold, e.Delay)
+			}
+			if !visited[e.To] {
+				visited[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// CleanMap applies the paper's cleanup: keep only the largest connected
+// component, renumbering nodes densely. It returns the cleaned graph and
+// the mapping from new ids to original ids.
+func CleanMap(g *Graph) (*Graph, []NodeID) {
+	comp := g.LargestComponent()
+	if len(comp) == 0 {
+		return NewGraph(0), nil
+	}
+	newID := make(map[NodeID]NodeID, len(comp))
+	for i, old := range comp {
+		newID[old] = NodeID(i)
+	}
+	out := NewGraph(len(comp))
+	for i, old := range comp {
+		out.Nodes[i] = g.Nodes[old]
+	}
+	for _, old := range comp {
+		for _, e := range g.Neighbors(old) {
+			from, to := newID[old], newID[e.To]
+			if from < to { // each undirected link once
+				out.MustAddLink(from, to, e.Metric, e.Threshold, e.Delay)
+			}
+		}
+	}
+	return out, comp
+}

@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// HopHistogram computes the Figure-10 curve for one TTL scope: over every
+// potential source mrouter, the histogram of the number of mrouters at each
+// hop distance that traffic sent at that TTL actually reaches. The
+// histogram is combined over all sources (the paper normalises it for
+// plotting; use IntHistogram.Normalized).
+//
+// sources limits the computation to the given source subset; pass nil for
+// all nodes (paper behaviour; O(V·(E log V))).
+func HopHistogram(g *Graph, ttl mcast.TTL, sources []NodeID) *stats.IntHistogram {
+	h := &stats.IntHistogram{}
+	if sources == nil {
+		sources = make([]NodeID, g.NumNodes())
+		for i := range sources {
+			sources[i] = NodeID(i)
+		}
+	}
+	for _, src := range sources {
+		t := NewSPTree(g, src)
+		r := Reach(g, t, ttl)
+		for _, v := range r.Members() {
+			h.Add(int(t.Depth(v)))
+		}
+	}
+	return h
+}
+
+// HopStats is one row of the paper's §2.4.1 TTL table.
+type HopStats struct {
+	TTL             mcast.TTL
+	MostFrequentHop int     // mode of the hop-count distribution
+	MeanHop         float64 // mean hop count
+	MaxHop          int     // maximum hop count observed
+}
+
+// HopStatsForTTLs computes the §2.4.1 table (most frequent and maximum hop
+// count per TTL scope) over the given sources (nil = all).
+func HopStatsForTTLs(g *Graph, ttls []mcast.TTL, sources []NodeID) []HopStats {
+	out := make([]HopStats, 0, len(ttls))
+	for _, ttl := range ttls {
+		h := HopHistogram(g, ttl, sources)
+		out = append(out, HopStats{
+			TTL:             ttl,
+			MostFrequentHop: h.Mode(),
+			MeanHop:         h.Mean(),
+			MaxHop:          h.Max(),
+		})
+	}
+	return out
+}
+
+// Diameter returns the maximum hop-count eccentricity over the sampled
+// sources (nil = all nodes), ignoring TTL thresholds. This corresponds to
+// the paper's observation that the Mbone diameter stays under the DVMRP
+// infinite metric of 32.
+func Diameter(g *Graph, sources []NodeID) int {
+	if sources == nil {
+		sources = make([]NodeID, g.NumNodes())
+		for i := range sources {
+			sources[i] = NodeID(i)
+		}
+	}
+	maxHops := 0
+	for _, src := range sources {
+		t := NewSPTree(g, src)
+		for v := 0; v < g.NumNodes(); v++ {
+			if d := t.Depth(NodeID(v)); int(d) > maxHops {
+				maxHops = int(d)
+			}
+		}
+	}
+	return maxHops
+}

@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// Property tests over randomly generated topologies: the invariants the
+// whole analysis rests on.
+
+func randomGraph(seed uint64, n int) *Graph {
+	rng := stats.NewRNG(seed)
+	if n < 2 {
+		n = 2
+	}
+	g := NewGraph(n)
+	// Random spanning tree plus extra edges, random thresholds/metrics.
+	for i := 1; i < n; i++ {
+		parent := NodeID(rng.IntN(i))
+		g.MustAddLink(NodeID(i), parent, int32(1+rng.IntN(3)), uint8(1+rng.IntN(64)), 1+rng.Float64()*10)
+	}
+	extra := rng.IntN(n / 2)
+	for e := 0; e < extra; e++ {
+		a, b := NodeID(rng.IntN(n)), NodeID(rng.IntN(n))
+		if a == b {
+			continue
+		}
+		if _, dup := g.EdgeBetween(a, b); dup {
+			continue
+		}
+		g.MustAddLink(a, b, int32(1+rng.IntN(3)), uint8(1+rng.IntN(64)), 1+rng.Float64()*10)
+	}
+	return g
+}
+
+// TestReachMonotoneInTTL: raising the TTL never shrinks the scope.
+func TestReachMonotoneInTTL(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8, src uint8, ttlRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		g := randomGraph(seed, n)
+		s := NodeID(int(src) % n)
+		tree := NewSPTree(g, s)
+		ttl := mcast.TTL(ttlRaw % 255) // 254 max: ttl+1 must not wrap
+		lo := Reach(g, tree, ttl)
+		hi := Reach(g, tree, ttl+1)
+		for _, v := range lo.Members() {
+			if !hi.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReachContainsSourceAndRespectsDepth: the source always receives its
+// own traffic, and nothing beyond hop distance ttl is reached.
+func TestReachContainsSourceAndRespectsDepth(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8, src uint8, ttlRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		g := randomGraph(seed, n)
+		s := NodeID(int(src) % n)
+		tree := NewSPTree(g, s)
+		ttl := mcast.TTL(ttlRaw%40 + 1)
+		r := Reach(g, tree, ttl)
+		if !r.Contains(s) {
+			return false
+		}
+		for _, v := range r.Members() {
+			if tree.Depth(v) > int32(ttl)-0 { // a packet crossing k hops needs ttl > k...
+				// precisely: remaining after k hops = ttl - k must be >= 1
+				if int32(ttl)-tree.Depth(v) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLCADistanceMatchesBFS: tree distances computed via LCA equal
+// distances walked naively through parents.
+func TestLCADistanceMatchesBFS(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, uRaw, vRaw uint8) bool {
+		n := int(nRaw)%80 + 2
+		g := randomGraph(seed, n)
+		tree := NewSPTree(g, 0)
+		u := NodeID(int(uRaw) % n)
+		v := NodeID(int(vRaw) % n)
+		if !tree.Reached(u) || !tree.Reached(v) {
+			return true // disconnected under DVMRP infinity: skip
+		}
+		// Naive: climb both to the root collecting paths.
+		anc := map[NodeID]int32{}
+		for x, d := u, int32(0); ; d++ {
+			anc[x] = d
+			if x == tree.Root {
+				break
+			}
+			x = tree.Parent(x)
+		}
+		var hops int32
+		for x, d := v, int32(0); ; d++ {
+			if du, ok := anc[x]; ok {
+				hops = du + d
+				break
+			}
+			x = tree.Parent(x)
+		}
+		return tree.TreeHops(u, v) == hops
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSerializeRoundTripProperty: Write∘Read is the identity on random
+// graphs.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		g := randomGraph(seed, n)
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+			return false
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			for _, e := range g.Neighbors(NodeID(i)) {
+				ge, ok := got.EdgeBetween(NodeID(i), e.To)
+				if !ok || ge != e {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"math/bits"
+
+	"sessiondir/internal/mcast"
+)
+
+// NodeSet is a bitset over the nodes of a graph, used to hold reachability
+// ("scope") sets compactly so visibility and clash tests are word-parallel.
+type NodeSet struct {
+	words []uint64
+	n     int
+}
+
+// NewNodeSet returns an empty set over n nodes.
+func NewNodeSet(n int) *NodeSet {
+	return &NodeSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Add inserts v.
+func (s *NodeSet) Add(v NodeID) { s.words[v>>6] |= 1 << (uint(v) & 63) }
+
+// Contains reports membership of v.
+func (s *NodeSet) Contains(v NodeID) bool {
+	return s.words[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// Len returns the number of members.
+func (s *NodeSet) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Universe returns the size of the node universe the set is over.
+func (s *NodeSet) Universe() int { return s.n }
+
+// Intersects reports whether s and t share any member.
+func (s *NodeSet) Intersects(t *NodeSet) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Members returns the members in ascending order.
+func (s *NodeSet) Members() []NodeID {
+	out := make([]NodeID, 0, s.Len())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, NodeID(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Reach computes the set of nodes whose attached hosts receive a multicast
+// packet sent from src with the given TTL, assuming DVMRP-style forwarding
+// along src's shortest path tree.
+//
+// The TTL rule follows §1 of the paper: each router hop decrements the TTL;
+// a packet crosses a link only if the decremented TTL is still positive and
+// is not below the link's configured threshold. The source's own node is
+// always in the set (hosts on the source LAN receive at any TTL >= 1).
+func Reach(g *Graph, t *Tree, ttl mcast.TTL) *NodeSet {
+	set := NewNodeSet(g.NumNodes())
+	if ttl < 1 {
+		return set
+	}
+	set.Add(t.Root)
+	// DFS down the tree carrying remaining TTL.
+	type frame struct {
+		node NodeID
+		ttl  int32
+	}
+	stack := []frame{{t.Root, int32(ttl)}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children(f.node) {
+			e, ok := g.EdgeBetween(f.node, c)
+			if !ok {
+				continue
+			}
+			rem := f.ttl - 1
+			if rem < 1 || rem < int32(e.Threshold) {
+				continue
+			}
+			set.Add(c)
+			stack = append(stack, frame{c, rem})
+		}
+	}
+	return set
+}
+
+// ReachCache memoises Reach sets and shortest path trees keyed by
+// (source, TTL). The allocation simulations look up the same scopes
+// repeatedly; a run over the 1864-node Mbone touches only a few thousand
+// distinct (source, TTL) pairs.
+type ReachCache struct {
+	g     *Graph
+	trees map[NodeID]*Tree
+	sets  map[reachKey]*NodeSet
+}
+
+type reachKey struct {
+	src NodeID
+	ttl mcast.TTL
+}
+
+// NewReachCache returns an empty cache over g.
+func NewReachCache(g *Graph) *ReachCache {
+	return &ReachCache{
+		g:     g,
+		trees: make(map[NodeID]*Tree),
+		sets:  make(map[reachKey]*NodeSet),
+	}
+}
+
+// Tree returns (building if needed) the shortest path tree rooted at src.
+func (c *ReachCache) Tree(src NodeID) *Tree {
+	t, ok := c.trees[src]
+	if !ok {
+		t = NewSPTree(c.g, src)
+		c.trees[src] = t
+	}
+	return t
+}
+
+// Reach returns (building if needed) the scope set of (src, ttl).
+func (c *ReachCache) Reach(src NodeID, ttl mcast.TTL) *NodeSet {
+	k := reachKey{src, ttl}
+	if s, ok := c.sets[k]; ok {
+		return s
+	}
+	s := Reach(c.g, c.Tree(src), ttl)
+	c.sets[k] = s
+	return s
+}
+
+// Visible reports whether an observer node sees announcements for a session
+// originated at src with the given scope TTL: announcements are multicast
+// with the same scope as the session they describe (§1).
+func (c *ReachCache) Visible(observer, src NodeID, ttl mcast.TTL) bool {
+	return c.Reach(src, ttl).Contains(observer)
+}

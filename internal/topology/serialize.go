@@ -1,0 +1,156 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Topology file format (version 1): a line-oriented text format so maps
+// can be generated once, inspected with standard tools, and replayed into
+// simulations — the workflow the paper had with mcollect/mwatch.
+//
+//	topology v1 <numNodes>
+//	node <id> <name> <continent> <country> <site> <x> <y>
+//	link <a> <b> <metric> <threshold> <delayMs>
+//
+// String fields are Go-quoted; '#' starts a comment line.
+
+const formatHeader = "topology v1"
+
+// Write serialises the graph.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %d\n", formatHeader, g.NumNodes())
+	for i, n := range g.Nodes {
+		fmt.Fprintf(bw, "node %d %q %q %q %q %g %g\n",
+			i, n.Name, n.Continent, n.Country, n.Site, n.X, n.Y)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Neighbors(NodeID(i)) {
+			if int(e.To) < i {
+				continue // one line per undirected link
+			}
+			fmt.Fprintf(bw, "link %d %d %d %d %g\n", i, e.To, e.Metric, e.Threshold, e.Delay)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a serialised graph.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	header, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("topology: empty input")
+	}
+	var n int
+	if _, err := fmt.Sscanf(header, formatHeader+" %d", &n); err != nil {
+		return nil, fmt.Errorf("topology: bad header %q: %w", header, err)
+	}
+	if n < 0 || n > 10_000_000 {
+		return nil, fmt.Errorf("topology: implausible node count %d", n)
+	}
+	g := NewGraph(n)
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+		}
+		switch fields[0] {
+		case "node":
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("topology: line %d: node needs 7 fields, got %d", lineNo, len(fields)-1)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= n {
+				return nil, fmt.Errorf("topology: line %d: bad node id %q", lineNo, fields[1])
+			}
+			x, errX := strconv.ParseFloat(fields[6], 64)
+			y, errY := strconv.ParseFloat(fields[7], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("topology: line %d: bad coordinates", lineNo)
+			}
+			g.Nodes[id] = Node{
+				Name: fields[2], Continent: fields[3], Country: fields[4], Site: fields[5],
+				X: x, Y: y,
+			}
+		case "link":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("topology: line %d: link needs 5 fields, got %d", lineNo, len(fields)-1)
+			}
+			a, errA := strconv.Atoi(fields[1])
+			b, errB := strconv.Atoi(fields[2])
+			metric, errM := strconv.ParseInt(fields[3], 10, 32)
+			threshold, errT := strconv.ParseUint(fields[4], 10, 8)
+			delay, errD := strconv.ParseFloat(fields[5], 64)
+			if errA != nil || errB != nil || errM != nil || errT != nil || errD != nil {
+				return nil, fmt.Errorf("topology: line %d: malformed link", lineNo)
+			}
+			if err := g.AddLink(NodeID(a), NodeID(b), int32(metric), uint8(threshold), delay); err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: read: %w", err)
+	}
+	return g, nil
+}
+
+// splitQuoted splits a line into fields, honouring Go-quoted strings.
+func splitQuoted(line string) ([]string, error) {
+	var fields []string
+	rest := line
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" {
+			break
+		}
+		if rest[0] == '"' {
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field: %w", err)
+			}
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted field: %w", err)
+			}
+			fields = append(fields, u)
+			rest = rest[len(q):]
+			continue
+		}
+		end := strings.IndexAny(rest, " \t")
+		if end < 0 {
+			fields = append(fields, rest)
+			break
+		}
+		fields = append(fields, rest[:end])
+		rest = rest[end:]
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty record")
+	}
+	return fields, nil
+}

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sessiondir/internal/stats"
+)
+
+func TestSerializeRoundTripMbone(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 300}, stats.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumLinks(), g.NumNodes(), g.NumLinks())
+	}
+	for i := range g.Nodes {
+		if g.Nodes[i] != got.Nodes[i] {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, g.Nodes[i], got.Nodes[i])
+		}
+	}
+	// Edge sets identical (order within adjacency may differ only if
+	// parallel links existed; the generator creates none).
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, e := range g.Neighbors(NodeID(i)) {
+			ge, ok := got.EdgeBetween(NodeID(i), e.To)
+			if !ok || ge != e {
+				t.Fatalf("edge %d->%d mismatch: %+v vs %+v", i, e.To, e, ge)
+			}
+		}
+	}
+	// Behaviour identical: same reach sets.
+	if Reach(g, NewSPTree(g, 0), 63).Len() != Reach(got, NewSPTree(got, 0), 63).Len() {
+		t.Fatal("reach differs after round trip")
+	}
+}
+
+func TestSerializeQuotedFields(t *testing.T) {
+	g := NewGraph(2)
+	g.Nodes[0] = Node{Name: `weird "name" with spaces`, Country: "São Tomé"}
+	g.Nodes[1] = Node{Name: "tab\there"}
+	g.MustAddLink(0, 1, 3, 16, 2.5)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes[0] != g.Nodes[0] || got.Nodes[1] != g.Nodes[1] {
+		t.Fatalf("quoted fields mangled: %+v", got.Nodes)
+	}
+	e, ok := got.EdgeBetween(0, 1)
+	if !ok || e.Metric != 3 || e.Threshold != 16 || e.Delay != 2.5 {
+		t.Fatalf("edge mangled: %+v", e)
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+topology v1 2
+
+node 0 "a" "" "" "" 0 0
+# another comment
+node 1 "b" "" "" "" 1 1
+link 0 1 1 1 5
+`
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumLinks() != 1 {
+		t.Fatalf("parsed %d nodes %d links", g.NumNodes(), g.NumLinks())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "nonsense 3\n",
+		"huge count":     "topology v1 99999999999\n",
+		"bad node id":    "topology v1 1\nnode 5 \"x\" \"\" \"\" \"\" 0 0\n",
+		"short node":     "topology v1 1\nnode 0 \"x\"\n",
+		"bad coords":     "topology v1 1\nnode 0 \"x\" \"\" \"\" \"\" zero 0\n",
+		"short link":     "topology v1 2\nlink 0 1 1\n",
+		"bad link":       "topology v1 2\nlink 0 1 x 1 1\n",
+		"self link":      "topology v1 2\nlink 0 0 1 1 1\n",
+		"unknown record": "topology v1 1\nfrob 1 2 3\n",
+		"bad quote":      "topology v1 1\nnode 0 \"unterminated 0 0 0 0 0\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+
+	"sessiondir/internal/mcast"
+)
+
+// Bus is an in-process multicast fabric: every endpoint's Send is delivered
+// to every other endpoint whose scope predicate admits the packet. It
+// models a lossless, ordered, zero-delay network unless a Policy says
+// otherwise — exactly what unit and integration tests want, and a
+// convenient substrate for the examples.
+type Bus struct {
+	mu        sync.Mutex
+	endpoints map[int]*BusEndpoint
+	nextID    int
+	policy    Policy
+}
+
+// Policy decides per-packet delivery between two endpoints. Returning
+// deliver=false drops the packet (loss or out-of-scope); delayed delivery
+// is not modelled here (the DES handles that in simulations).
+type Policy func(from, to int, scope mcast.TTL) (deliver bool)
+
+// NewBus returns an empty bus delivering everything everywhere.
+func NewBus() *Bus {
+	return &Bus{endpoints: make(map[int]*BusEndpoint)}
+}
+
+// SetPolicy installs a delivery policy (nil restores deliver-all).
+func (b *Bus) SetPolicy(p Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.policy = p
+}
+
+// Endpoint creates a new attached endpoint.
+func (b *Bus) Endpoint() *BusEndpoint {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep := &BusEndpoint{bus: b, id: b.nextID}
+	b.nextID++
+	b.endpoints[ep.id] = ep
+	return ep
+}
+
+// BusEndpoint is one attachment point on a Bus.
+type BusEndpoint struct {
+	bus *Bus
+	id  int
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+var _ Transport = (*BusEndpoint)(nil)
+
+// ID returns the endpoint's bus-unique id (useful in Policy functions).
+func (e *BusEndpoint) ID() int { return e.id }
+
+// Send implements Transport. Delivery is synchronous: all recipient
+// handlers run before Send returns, which makes tests deterministic.
+// The sender does not receive its own packets (matching IP_MULTICAST_LOOP
+// disabled, which is how the agents are wired).
+func (e *BusEndpoint) Send(_ context.Context, data []byte, scope mcast.TTL) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	e.bus.mu.Lock()
+	policy := e.bus.policy
+	recipients := make([]*BusEndpoint, 0, len(e.bus.endpoints))
+	for id, other := range e.bus.endpoints {
+		if id == e.id {
+			continue
+		}
+		if policy != nil {
+			if deliver := policyAllows(policy, e.id, id, scope); !deliver {
+				continue
+			}
+		}
+		recipients = append(recipients, other)
+	}
+	e.bus.mu.Unlock()
+
+	for _, r := range recipients {
+		r.deliver(data)
+	}
+	return nil
+}
+
+func policyAllows(p Policy, from, to int, scope mcast.TTL) bool {
+	return p(from, to, scope)
+}
+
+func (e *BusEndpoint) deliver(data []byte) {
+	e.mu.Lock()
+	h := e.handler
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || h == nil {
+		return
+	}
+	// Each recipient gets its own copy: handlers own their Data.
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	h(Message{Data: cp})
+}
+
+// Subscribe implements Transport.
+func (e *BusEndpoint) Subscribe(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// LocalAddr implements Transport; bus endpoints have no network address.
+func (e *BusEndpoint) LocalAddr() netip.AddrPort { return netip.AddrPort{} }
+
+// Close implements Transport.
+func (e *BusEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.handler = nil
+	e.mu.Unlock()
+
+	e.bus.mu.Lock()
+	delete(e.bus.endpoints, e.id)
+	e.bus.mu.Unlock()
+	return nil
+}

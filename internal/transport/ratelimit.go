@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+// RateLimited decorates a Transport with a token-bucket bandwidth budget.
+// SAP gives each scope's announcement channel a shared budget (RFC 2974's
+// 4000 bits/second); the announcer's interval arithmetic keeps the steady
+// state under it, but bursts — a clash storm of defenses, a cache replay —
+// can still spike. The limiter turns such spikes into drops, which the
+// re-announcement schedule repairs, instead of letting a directory flood
+// the channel it shares with everyone else.
+type RateLimited struct {
+	inner Transport
+	rate  float64 // bytes per second
+	burst float64 // bucket depth, bytes
+	now   func() time.Time
+
+	mu      sync.Mutex
+	tokens  float64
+	last    time.Time
+	dropped uint64
+}
+
+// NewRateLimited wraps inner with a budget of rateBitsPerSec and a burst
+// allowance of burstBytes (0 = one second's worth). The clock is
+// injectable for tests (nil = time.Now).
+func NewRateLimited(inner Transport, rateBitsPerSec int, burstBytes int, clock func() time.Time) (*RateLimited, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("transport: RateLimited needs an inner transport")
+	}
+	if rateBitsPerSec <= 0 {
+		return nil, fmt.Errorf("transport: non-positive rate %d", rateBitsPerSec)
+	}
+	rate := float64(rateBitsPerSec) / 8
+	burst := float64(burstBytes)
+	if burst <= 0 {
+		burst = rate
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &RateLimited{
+		inner:  inner,
+		rate:   rate,
+		burst:  burst,
+		now:    clock,
+		tokens: burst,
+		last:   clock(),
+	}, nil
+}
+
+var _ Transport = (*RateLimited)(nil)
+
+// Send implements Transport, consuming len(data) bytes of budget or
+// dropping the packet (returning nil: multicast is best-effort and the
+// announcement schedule retransmits).
+func (r *RateLimited) Send(ctx context.Context, data []byte, scope mcast.TTL) error {
+	r.mu.Lock()
+	now := r.now()
+	elapsed := now.Sub(r.last).Seconds()
+	if elapsed > 0 {
+		r.tokens += elapsed * r.rate
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
+		r.last = now
+	}
+	need := float64(len(data))
+	if r.tokens < need {
+		r.dropped++
+		r.mu.Unlock()
+		return nil // dropped: the back-off schedule will retransmit
+	}
+	r.tokens -= need
+	r.mu.Unlock()
+	return r.inner.Send(ctx, data, scope)
+}
+
+// Dropped reports how many packets the budget has discarded.
+func (r *RateLimited) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Subscribe implements Transport.
+func (r *RateLimited) Subscribe(h Handler) { r.inner.Subscribe(h) }
+
+// LocalAddr implements Transport.
+func (r *RateLimited) LocalAddr() netip.AddrPort { return r.inner.LocalAddr() }
+
+// Close implements Transport.
+func (r *RateLimited) Close() error { return r.inner.Close() }

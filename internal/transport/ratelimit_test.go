@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func TestRateLimitedValidation(t *testing.T) {
+	bus := NewBus()
+	if _, err := NewRateLimited(nil, 4000, 0, nil); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+	if _, err := NewRateLimited(bus.Endpoint(), 0, 0, nil); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestRateLimitedBudget(t *testing.T) {
+	bus := NewBus()
+	recvEp := bus.Endpoint()
+	received := 0
+	recvEp.Subscribe(func(Message) { received++ })
+
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	// 4000 bps = 500 B/s; burst = 500 B.
+	rl, err := NewRateLimited(bus.Endpoint(), 4000, 0, clk.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pkt := make([]byte, 100)
+
+	// Five 100-byte packets drain the bucket; the sixth drops.
+	for i := 0; i < 6; i++ {
+		if err := rl.Send(ctx, pkt, 127); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if received != 5 {
+		t.Fatalf("received %d, want 5", received)
+	}
+	if rl.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", rl.Dropped())
+	}
+
+	// Half a second refills 250 bytes: two more pass, third drops.
+	clk.advance(500 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		_ = rl.Send(ctx, pkt, 127)
+	}
+	if received != 7 {
+		t.Fatalf("received %d, want 7", received)
+	}
+
+	// A long idle period refills to the burst cap, not beyond.
+	clk.advance(time.Hour)
+	for i := 0; i < 6; i++ {
+		_ = rl.Send(ctx, pkt, 127)
+	}
+	if received != 12 {
+		t.Fatalf("received %d, want 12 (burst-capped refill)", received)
+	}
+}
+
+func TestRateLimitedDelegates(t *testing.T) {
+	bus := NewBus()
+	inner := bus.Endpoint()
+	rl, err := NewRateLimited(inner, 4000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := false
+	rl.Subscribe(func(Message) { got = true })
+	other := bus.Endpoint()
+	_ = other.Send(context.Background(), []byte("x"), 1)
+	if !got {
+		t.Fatal("Subscribe not delegated")
+	}
+	if rl.LocalAddr() != inner.LocalAddr() {
+		t.Fatal("LocalAddr not delegated")
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Send(context.Background(), []byte("x"), 1); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}

@@ -1,0 +1,44 @@
+// Package transport abstracts how session directory agents exchange SAP
+// packets: real UDP multicast (with a unicast fan-out fallback for
+// environments without multicast routing), and an in-process bus with
+// optional scope filtering for tests and simulations.
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+
+	"sessiondir/internal/mcast"
+)
+
+// Message is one received datagram.
+type Message struct {
+	// From is the sender's address (zero for in-process transports that
+	// don't model addressing).
+	From netip.AddrPort
+	// Data is the packet contents. The slice is owned by the receiver.
+	Data []byte
+}
+
+// Handler consumes received messages. Handlers are invoked sequentially
+// per transport; they must not block for long.
+type Handler func(Message)
+
+// Transport carries SAP datagrams between directory agents.
+type Transport interface {
+	// Send transmits data with the given scope TTL. The data slice is not
+	// retained after Send returns.
+	Send(ctx context.Context, data []byte, scope mcast.TTL) error
+	// Subscribe registers the receive handler. Only one handler may be
+	// active; Subscribe replaces any previous one. Pass nil to stop
+	// receiving.
+	Subscribe(h Handler)
+	// LocalAddr identifies this endpoint (zero if not applicable).
+	LocalAddr() netip.AddrPort
+	// Close releases resources; Send and Subscribe are invalid afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed transport.
+var ErrClosed = errors.New("transport: closed")

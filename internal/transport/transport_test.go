@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+func TestBusDeliversToOthersNotSelf(t *testing.T) {
+	bus := NewBus()
+	a, b, c := bus.Endpoint(), bus.Endpoint(), bus.Endpoint()
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	var mu sync.Mutex
+	got := map[int][]string{}
+	sub := func(ep *BusEndpoint) {
+		id := ep.ID()
+		ep.Subscribe(func(m Message) {
+			mu.Lock()
+			got[id] = append(got[id], string(m.Data))
+			mu.Unlock()
+		})
+	}
+	sub(a)
+	sub(b)
+	sub(c)
+
+	if err := a.Send(context.Background(), []byte("hello"), 127); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got[a.ID()]) != 0 {
+		t.Fatal("sender received its own packet")
+	}
+	if len(got[b.ID()]) != 1 || got[b.ID()][0] != "hello" {
+		t.Fatalf("b got %v", got[b.ID()])
+	}
+	if len(got[c.ID()]) != 1 {
+		t.Fatalf("c got %v", got[c.ID()])
+	}
+}
+
+func TestBusPolicyScopesDelivery(t *testing.T) {
+	bus := NewBus()
+	a, b, c := bus.Endpoint(), bus.Endpoint(), bus.Endpoint()
+	// Only scope >= 64 crosses from a to c; a to b always.
+	bus.SetPolicy(func(from, to int, scope mcast.TTL) bool {
+		if from == a.ID() && to == c.ID() {
+			return scope >= 64
+		}
+		return true
+	})
+	var mu sync.Mutex
+	counts := map[int]int{}
+	for _, ep := range []*BusEndpoint{b, c} {
+		id := ep.ID()
+		ep.Subscribe(func(Message) {
+			mu.Lock()
+			counts[id]++
+			mu.Unlock()
+		})
+	}
+	ctx := context.Background()
+	a.Send(ctx, []byte("x"), 15)  //nolint:errcheck
+	a.Send(ctx, []byte("y"), 127) //nolint:errcheck
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[b.ID()] != 2 {
+		t.Fatalf("b count = %d", counts[b.ID()])
+	}
+	if counts[c.ID()] != 1 {
+		t.Fatalf("c count = %d", counts[c.ID()])
+	}
+}
+
+func TestBusHandlerOwnsData(t *testing.T) {
+	bus := NewBus()
+	a, b := bus.Endpoint(), bus.Endpoint()
+	var captured []byte
+	b.Subscribe(func(m Message) { captured = m.Data })
+	payload := []byte("mutable")
+	a.Send(context.Background(), payload, 1) //nolint:errcheck
+	payload[0] = 'X'
+	if string(captured) != "mutable" {
+		t.Fatalf("handler data aliases the sender's buffer: %q", captured)
+	}
+}
+
+func TestBusClosedSend(t *testing.T) {
+	bus := NewBus()
+	a := bus.Endpoint()
+	a.Close()
+	if err := a.Send(context.Background(), []byte("x"), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusClosedEndpointNotDelivered(t *testing.T) {
+	bus := NewBus()
+	a, b := bus.Endpoint(), bus.Endpoint()
+	delivered := false
+	b.Subscribe(func(Message) { delivered = true })
+	b.Close()
+	a.Send(context.Background(), []byte("x"), 1) //nolint:errcheck
+	if delivered {
+		t.Fatal("closed endpoint received a packet")
+	}
+}
+
+func TestUDPUnicastFanout(t *testing.T) {
+	recv, err := NewUDP(UDPConfig{Peers: []netip.AddrPort{netip.MustParseAddrPort("127.0.0.1:1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	msgs := make(chan Message, 4)
+	recv.Subscribe(func(m Message) { msgs <- m })
+
+	send, err := NewUDP(UDPConfig{Peers: []netip.AddrPort{recv.LocalAddr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := send.Send(ctx, []byte("sap packet"), 127); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		if string(m.Data) != "sap packet" {
+			t.Fatalf("got %q", m.Data)
+		}
+		if m.From.Port() != send.LocalAddr().Port() {
+			t.Fatalf("from = %v, sender = %v", m.From, send.LocalAddr())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for packet")
+	}
+}
+
+func TestUDPBidirectional(t *testing.T) {
+	a, err := NewUDP(UDPConfig{Peers: []netip.AddrPort{netip.MustParseAddrPort("127.0.0.1:1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(UDPConfig{Peers: []netip.AddrPort{a.LocalAddr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Point a at b now that b exists.
+	a.peers = []netip.AddrPort{b.LocalAddr()}
+
+	fromA := make(chan string, 1)
+	fromB := make(chan string, 1)
+	a.Subscribe(func(m Message) { fromB <- string(m.Data) })
+	b.Subscribe(func(m Message) { fromA <- string(m.Data) })
+
+	ctx := context.Background()
+	if err := a.Send(ctx, []byte("ping"), 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(ctx, []byte("pong"), 15); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case got := <-fromA:
+			if got != "ping" {
+				t.Fatalf("b got %q", got)
+			}
+		case got := <-fromB:
+			if got != "pong" {
+				t.Fatalf("a got %q", got)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestUDPClosedSend(t *testing.T) {
+	tr, err := NewUDP(UDPConfig{Peers: []netip.AddrPort{netip.MustParseAddrPort("127.0.0.1:1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if err := tr.Send(context.Background(), []byte("x"), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPMulticastOrSkip(t *testing.T) {
+	// Real multicast needs routing support; skip gracefully where absent.
+	grp := netip.MustParseAddr("239.255.77.77")
+	recv, err := NewUDP(UDPConfig{Group: grp, Port: 19876})
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	defer recv.Close()
+	msgs := make(chan Message, 1)
+	recv.Subscribe(func(m Message) { msgs <- m })
+
+	send, err := NewUDP(UDPConfig{Group: grp, Port: 19876})
+	if err != nil {
+		t.Skipf("multicast send socket unavailable: %v", err)
+	}
+	defer send.Close()
+	if err := send.Send(context.Background(), []byte("mc"), 1); err != nil {
+		t.Skipf("multicast send failed: %v", err)
+	}
+	select {
+	case m := <-msgs:
+		if string(m.Data) != "mc" {
+			t.Fatalf("got %q", m.Data)
+		}
+	case <-time.After(time.Second):
+		t.Skip("multicast loopback not delivered; environment lacks multicast")
+	}
+}
+
+func TestUDPRejectsNonMulticastGroup(t *testing.T) {
+	if _, err := NewUDP(UDPConfig{Group: netip.MustParseAddr("10.0.0.1")}); err == nil {
+		t.Fatal("unicast group accepted")
+	}
+}

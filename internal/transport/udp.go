@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sessiondir/internal/mcast"
+)
+
+// DefaultSAPGroup and DefaultSAPPort are the well-known SAP rendezvous
+// (224.2.127.254:9875).
+var DefaultSAPGroup = netip.MustParseAddr("224.2.127.254")
+
+const DefaultSAPPort = 9875
+
+// maxDatagram is the largest SAP datagram we accept; RFC 2974 recommends
+// keeping announcements under 1 kB but tolerates up to the UDP maximum.
+const maxDatagram = 64 * 1024
+
+// UDPConfig parameterises a UDP transport.
+type UDPConfig struct {
+	// Group is the multicast group to join and send to; zero means the
+	// default SAP group.
+	Group netip.Addr
+	// Port is the UDP port; 0 means the default SAP port.
+	Port uint16
+	// Peers, when non-empty, switches the transport to unicast fan-out:
+	// packets are sent to each peer directly instead of the group. This
+	// covers hosts and CI environments without multicast routing; scope
+	// TTLs are carried in-band by SAP semantics rather than enforced by
+	// routers in that mode.
+	Peers []netip.AddrPort
+	// ListenAddr is the local bind address for unicast mode ("" =
+	// 127.0.0.1 with an ephemeral port).
+	ListenAddr string
+}
+
+// UDPTransport sends and receives SAP datagrams over real sockets.
+type UDPTransport struct {
+	conn   *net.UDPConn
+	group  *net.UDPAddr // nil in unicast mode
+	peers  []netip.AddrPort
+	local  netip.AddrPort
+	setTTL func(int) error
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDP opens a UDP transport. With Peers set it uses unicast fan-out;
+// otherwise it joins the multicast group (which requires a multicast-
+// capable interface and may fail in restricted environments).
+func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
+	if len(cfg.Peers) > 0 {
+		return newUnicastUDP(cfg)
+	}
+	return newMulticastUDP(cfg)
+}
+
+func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
+	listen := cfg.ListenAddr
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	addr, err := net.ResolveUDPAddr("udp4", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &UDPTransport{
+		conn:   conn,
+		peers:  append([]netip.AddrPort(nil), cfg.Peers...),
+		setTTL: func(int) error { return nil }, // TTL is advisory in unicast mode
+		done:   make(chan struct{}),
+	}
+	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	go t.readLoop()
+	return t, nil
+}
+
+func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
+	group := cfg.Group
+	if !group.IsValid() {
+		group = DefaultSAPGroup
+	}
+	if !mcast.IsMulticast(group) {
+		return nil, fmt.Errorf("transport: %s is not a multicast group", group)
+	}
+	port := cfg.Port
+	if port == 0 {
+		port = DefaultSAPPort
+	}
+	gaddr := &net.UDPAddr{IP: group.AsSlice(), Port: int(port)}
+	conn, err := net.ListenMulticastUDP("udp4", nil, gaddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: join %s: %w", gaddr, err)
+	}
+	t := &UDPTransport{
+		conn:  conn,
+		group: gaddr,
+		done:  make(chan struct{}),
+	}
+	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	t.setTTL = func(ttl int) error {
+		return setMulticastTTL(conn, ttl)
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+func (t *UDPTransport) readLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, addr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient errors: back off briefly and continue.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		h(Message{From: addr.AddrPort(), Data: data})
+	}
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := t.conn.SetWriteDeadline(dl); err != nil {
+			return fmt.Errorf("transport: set deadline: %w", err)
+		}
+		defer t.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort reset
+	}
+	if t.group != nil {
+		if err := t.setTTL(int(scope)); err != nil {
+			return fmt.Errorf("transport: set TTL: %w", err)
+		}
+		if _, err := t.conn.WriteToUDP(data, t.group); err != nil {
+			return fmt.Errorf("transport: send: %w", err)
+		}
+		return nil
+	}
+	var firstErr error
+	for _, p := range t.peers {
+		ua := net.UDPAddrFromAddrPort(p)
+		if _, err := t.conn.WriteToUDP(data, ua); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("transport: send to %s: %w", p, err)
+		}
+	}
+	return firstErr
+}
+
+// Subscribe implements Transport.
+func (t *UDPTransport) Subscribe(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// LocalAddr implements Transport.
+func (t *UDPTransport) LocalAddr() netip.AddrPort { return t.local }
+
+// Close implements Transport.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.handler = nil
+	close(t.done)
+	t.mu.Unlock()
+	return t.conn.Close()
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package transport
+
+import "net"
+
+// setMulticastTTL is a no-op on platforms without the unix sockopt API;
+// packets go out with the system default multicast TTL.
+func setMulticastTTL(_ *net.UDPConn, _ int) error { return nil }

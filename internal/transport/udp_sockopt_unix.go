@@ -1,0 +1,24 @@
+//go:build unix
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// setMulticastTTL sets the IP_MULTICAST_TTL socket option, which is how
+// Mbone scope control is expressed at the sending host (§1 of the paper).
+func setMulticastTTL(conn *net.UDPConn, ttl int) error {
+	raw, err := conn.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	if err := raw.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_IP, syscall.IP_MULTICAST_TTL, ttl)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

