@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-snapshot
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency regression gate: exercises the parallel experiment
+# engine, the sharded scope cache, and the determinism tests under the
+# race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Refresh BENCH.json: wall time per figure at quick scale plus the
+# allocation hot-path micro-benchmarks. Commit the result to record the
+# perf trajectory (see DESIGN.md "Performance").
+bench-snapshot: build
+	$(GO) run ./cmd/mcbench -experiment fig5,fig12 -json BENCH.json

@@ -5,28 +5,109 @@
 //	mcbench -list
 //	mcbench -experiment fig5
 //	mcbench -experiment all -full
+//	mcbench -experiment fig5,fig12 -workers 8 -json BENCH.json
 //
 // Quick scale (default) finishes in minutes; -full reproduces the paper's
 // parameter ranges and can run for hours, as the originals did.
+//
+// -workers sets the experiment engine's concurrency (0 = GOMAXPROCS,
+// 1 = serial); output is bit-identical at any worker count. -json appends
+// a machine-readable benchmark record — wall time per experiment plus
+// allocation micro-benchmarks — for tracking perf across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
 	"time"
 
+	"sessiondir/internal/allocator"
 	"sessiondir/internal/experiments"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
 )
+
+// benchReport is the schema written by -json.
+type benchReport struct {
+	Timestamp  string             `json:"timestamp"`
+	Scale      string             `json:"scale"`
+	Workers    int                `json:"workers"` // 0 = GOMAXPROCS
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go_version"`
+	Figures    []figureTiming     `json:"figures"`
+	Micro      []microBenchResult `json:"micro"`
+}
+
+type figureTiming struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+type microBenchResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+}
+
+// microBenches mirrors the hot-path micro-benchmarks in bench_test.go so a
+// plain mcbench run can record allocs/op without the test harness.
+func microBenches() []microBenchResult {
+	mkView := func(n int, d mcast.TTLDistribution) []allocator.SessionInfo {
+		rng := stats.NewRNG(5)
+		view := make([]allocator.SessionInfo, n)
+		for i := range view {
+			view[i] = allocator.SessionInfo{Addr: mcast.Addr(rng.IntN(4096)), TTL: d.Sample(rng.IntN)}
+		}
+		return view
+	}
+	cases := []struct {
+		name  string
+		alloc allocator.Allocator
+		ttl   mcast.TTL
+	}{
+		{"AllocateAdaptive", allocator.NewAdaptive(4096, allocator.AdaptiveConfig{GapFraction: 0.2}), 127},
+		{"AllocateInformedRandom", allocator.NewInformedRandom(4096), 63},
+		{"AllocateHybrid", allocator.NewHybrid(4096), 127},
+	}
+	var out []microBenchResult
+	for _, c := range cases {
+		c := c
+		view := mkView(500, mcast.DS4())
+		rng := stats.NewRNG(5)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.alloc.Allocate(view, c.ttl, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microBenchResult{
+			Name:     c.name,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsOp: res.AllocsPerOp(),
+			BytesOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		id     = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
-		full   = flag.Bool("full", false, "paper-scale parameters (slow)")
-		outDir = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		list     = flag.Bool("list", false, "list available experiments")
+		id       = flag.String("experiment", "all", "experiment id (see -list), comma-separated ids, or 'all'")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow)")
+		outDir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+		workers  = flag.Int("workers", 0, "engine concurrency: 0 = GOMAXPROCS, 1 = serial (output identical either way)")
+		jsonPath = flag.String("json", "", "write a machine-readable benchmark record (wall times + allocation micro-benches) to this file")
 	)
 	flag.Parse()
 
@@ -48,22 +129,33 @@ func main() {
 	if *full {
 		scale = experiments.Full()
 	}
+	scale.Workers = *workers
 
 	var runners []experiments.Runner
 	if *id == "all" {
 		runners = experiments.All()
 	} else {
-		r, err := experiments.ByID(*id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintln(os.Stderr, "use -list to see available experiments")
-			os.Exit(2)
+		for _, one := range strings.Split(*id, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(one))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(os.Stderr, "use -list to see available experiments")
+				os.Exit(2)
+			}
+			runners = append(runners, r)
 		}
-		runners = []experiments.Runner{r}
+	}
+
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      scale.Name,
+		Workers:    *workers,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
 	}
 
 	for _, r := range runners {
-		fmt.Printf("==== %s: %s (scale=%s) ====\n", r.ID, r.Description, scale.Name)
+		fmt.Printf("==== %s: %s (scale=%s workers=%d) ====\n", r.ID, r.Description, scale.Name, *workers)
 		start := time.Now()
 		var out io.Writer = os.Stdout
 		var file *os.File
@@ -86,6 +178,30 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("==== %s done in %v ====\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Figures = append(report.Figures, figureTiming{
+			ID:     r.ID,
+			WallMs: float64(elapsed.Microseconds()) / 1000,
+		})
+		fmt.Printf("==== %s done in %v ====\n\n", r.ID, elapsed.Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		fmt.Println("==== micro-benchmarks (allocation hot path) ====")
+		report.Micro = microBenches()
+		for _, m := range report.Micro {
+			fmt.Printf("%-24s %12.0f ns/op %6d B/op %4d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark record written to %s\n", *jsonPath)
 	}
 }

@@ -120,10 +120,28 @@ func (a *Adaptive) classCounts(visible []SessionInfo) []int {
 }
 
 func (a *Adaptive) layoutFromCounts(counts []int) []Band {
-	n := a.pm.NumClasses()
-	bands := make([]Band, 0, n)
+	bands := make([]Band, 0, a.pm.NumClasses())
+	a.walkBands(counts, func(c int, start, width uint32) bool {
+		bands = append(bands, Band{
+			Class: c,
+			Low:   a.pm.LowTTL(c),
+			Start: start,
+			Width: width,
+			Count: counts[c],
+		})
+		return true
+	})
+	return bands
+}
+
+// walkBands runs the Figure-8 cursor walk top-down, yielding each band's
+// bounds in descending TTL order; yield returning false stops the walk.
+// It is the single source of truth for band placement, shared by Layout
+// (which materialises []Band) and Allocate (which needs one band's bounds
+// without allocating).
+func (a *Adaptive) walkBands(counts []int, yield func(c int, start, width uint32) bool) {
 	cursor := int64(a.size) // exclusive top of the next band
-	for c := n - 1; c >= 0; c-- {
+	for c := a.pm.NumClasses() - 1; c >= 0; c-- {
 		width := int64(a.bandWidth(counts[c]))
 		start := cursor - width
 		if start < 0 {
@@ -132,13 +150,9 @@ func (a *Adaptive) layoutFromCounts(counts []int) []Band {
 				width = int64(a.size)
 			}
 		}
-		bands = append(bands, Band{
-			Class: c,
-			Low:   a.pm.LowTTL(c),
-			Start: uint32(start),
-			Width: uint32(width),
-			Count: counts[c],
-		})
+		if !yield(c, uint32(start), uint32(width)) {
+			return
+		}
 		cursor = start
 		if counts[c] > 0 {
 			cursor -= gapBelow(a.size, a.gapFrac)
@@ -147,8 +161,12 @@ func (a *Adaptive) layoutFromCounts(counts []int) []Band {
 			cursor = 0
 		}
 	}
-	return bands
 }
+
+// maxStackClasses bounds the on-stack class-count scratch in Allocate.
+// The §2.4.1 rule yields at most 256 classes (one per TTL value), so the
+// heap fallback below is unreachable in practice but kept for safety.
+const maxStackClasses = 256
 
 // expectedActiveBands is the band-count assumption the inter-band gap
 // budget is divided by: TTL values cluster on a handful of conventional
@@ -180,18 +198,30 @@ func (a *Adaptive) bandWidth(count int) uint32 {
 	return uint32(math.Ceil(float64(count) / a.occupancy))
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. The hot path is allocation-free: class
+// counts live in an on-stack scratch, the band walk yields bounds without
+// materialising a layout, and the used-address view is a pooled bitset.
 func (a *Adaptive) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
-	bands := a.Layout(visible)
-	cls := a.pm.ClassOf(ttl)
-	var band Band
-	found := false
-	for _, b := range bands {
-		if b.Class == cls {
-			band, found = b, true
-			break
-		}
+	var countsBuf [maxStackClasses]int
+	var counts []int
+	if n := a.pm.NumClasses(); n <= len(countsBuf) {
+		counts = countsBuf[:n]
+	} else {
+		counts = make([]int, n)
 	}
+	for _, s := range visible {
+		counts[a.pm.ClassOf(s.TTL)]++
+	}
+	cls := a.pm.ClassOf(ttl)
+	var bandStart, bandWidth uint32
+	found := false
+	a.walkBands(counts, func(c int, start, width uint32) bool {
+		if c == cls {
+			bandStart, bandWidth, found = start, width, true
+			return false
+		}
+		return true
+	})
 	if !found {
 		return 0, fmt.Errorf("allocator: no band for TTL %d (bug)", ttl)
 	}
@@ -199,7 +229,9 @@ func (a *Adaptive) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG
 	// the paper's band growth pushing lower bands down the space. The
 	// expansion may stray into lower bands' territory: that is precisely
 	// the clash risk the inter-band gaps exist to absorb.
-	if addr, ok := expandingPick(band.Start, band.Width, a.size, newUsedSet(visible), rng); ok {
+	used := acquireUsed(a.size, visible)
+	defer releaseUsed(used)
+	if addr, ok := expandingPick(bandStart, bandWidth, used, rng); ok {
 		return addr, nil
 	}
 	return 0, fmt.Errorf("%w (class %d, TTL %d, %s)", ErrSpaceFull, cls, ttl, a.name)

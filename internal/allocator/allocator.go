@@ -36,6 +36,11 @@ var ErrSpaceFull = errors.New("allocator: no free address visible for requested 
 // allocating site (it must not retain or modify the slice) and the scope
 // TTL of the new session, and returns an address index in [0, Size()).
 // Implementations are deterministic given the rng stream.
+//
+// All allocators in this package are immutable after construction, so a
+// single instance may be shared by concurrent experiment workers as long
+// as each worker passes its own *stats.RNG (RNGs are not concurrency-safe;
+// derive per-worker streams with Split).
 type Allocator interface {
 	// Name identifies the algorithm in experiment output, e.g. "IPR 7-band".
 	Name() string
@@ -45,27 +50,15 @@ type Allocator interface {
 	Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error)
 }
 
-// usedSet is a reusable presence map over address indices.
-type usedSet struct {
-	used map[mcast.Addr]bool
-}
-
-func newUsedSet(visible []SessionInfo) usedSet {
-	m := make(map[mcast.Addr]bool, len(visible))
-	for _, s := range visible {
-		m[s.Addr] = true
-	}
-	return usedSet{used: m}
-}
-
-func (u usedSet) has(a mcast.Addr) bool { return u.used[a] }
-
 // pickFreeInRange returns a uniformly random address in [start, start+width)
 // that is not in used. It first tries rejection sampling (cheap when the
-// range is sparsely occupied), then falls back to an exact scan so the
-// result stays uniform even in nearly full ranges. ok is false if the
-// range is fully occupied.
-func pickFreeInRange(start, width uint32, used usedSet, rng *stats.RNG) (mcast.Addr, bool) {
+// range is sparsely occupied), then falls back to an exact selection so the
+// result stays uniform even in nearly full ranges. The exact path is
+// allocation-free: it counts the free slots word-parallel, draws one index,
+// and selects that free slot directly — the same single rng draw and the
+// same ascending-order choice the old collect-then-pick scan made, so
+// results are bit-identical. ok is false if the range is fully occupied.
+func pickFreeInRange(start, width uint32, used *usedSet, rng *stats.RNG) (mcast.Addr, bool) {
 	if width == 0 {
 		return 0, false
 	}
@@ -76,18 +69,12 @@ func pickFreeInRange(start, width uint32, used usedSet, rng *stats.RNG) (mcast.A
 			return a, true
 		}
 	}
-	// Exact: collect free slots.
-	free := make([]mcast.Addr, 0, 16)
-	for off := uint32(0); off < width; off++ {
-		a := mcast.Addr(start + off)
-		if !used.has(a) {
-			free = append(free, a)
-		}
-	}
-	if len(free) == 0 {
+	free := width - used.countUsed(start, start+width)
+	if free == 0 {
 		return 0, false
 	}
-	return free[rng.IntN(len(free))], true
+	addr, ok := used.nthFree(start, start+width, uint32(rng.IntN(int(free))))
+	return addr, ok
 }
 
 // expandingPick allocates from a nominal band [start, start+width),
@@ -96,8 +83,7 @@ func pickFreeInRange(start, width uint32, used usedSet, rng *stats.RNG) (mcast.A
 // grow upward into higher-TTL territory, because an upward stray would be
 // invisible to the wider-scoped sites it endangers. It fails when the band
 // and everything below it is visibly in use.
-func expandingPick(start, width, size uint32, used usedSet, rng *stats.RNG) (mcast.Addr, bool) {
-	_ = size
+func expandingPick(start, width uint32, used *usedSet, rng *stats.RNG) (mcast.Addr, bool) {
 	if addr, ok := pickFreeInRange(start, width, used, rng); ok {
 		return addr, true
 	}

@@ -159,11 +159,15 @@ func (a *CategoryAdaptive) Allocate(visible []CategorySession, ttl mcast.TTL, ca
 	if !found {
 		return 0, fmt.Errorf("allocator: no band for TTL %d category %q (bug)", ttl, category)
 	}
-	used := make(map[mcast.Addr]bool, len(visible))
+	used := usedPool.Get().(*usedSet)
+	used.reset(a.size)
 	for _, s := range visible {
-		used[s.Addr] = true
+		if uint32(s.Addr) < a.size {
+			used.add(s.Addr)
+		}
 	}
-	if addr, ok := expandingPick(band.Start, band.Width, a.size, usedSet{used: used}, rng); ok {
+	defer releaseUsed(used)
+	if addr, ok := expandingPick(band.Start, band.Width, used, rng); ok {
 		return addr, nil
 	}
 	return 0, fmt.Errorf("%w (class %d, category %q, %s)", ErrSpaceFull, reqClass, category, a.name)

@@ -95,39 +95,46 @@ func (h *Hybrid) Layout(visible []SessionInfo) []Band {
 	for _, s := range visible {
 		counts[h.bandOf(s.TTL)]++
 	}
-	bands := make([]Band, nBands)
-	cursor := h.size
-	for i := 0; i < nBands; i++ {
-		top := h.initTop[i]
-		pushed := cursor < top
-		if pushed {
-			top = cursor
-		}
-		var width uint32
-		need := uint32(math.Ceil(float64(counts[i]) / h.occupancy))
-		if need < 1 {
-			need = 1
-		}
-		if pushed {
-			// Pushed from above while under-occupied: shrink to need.
-			width = need
-		} else {
-			// Unpushed: keep at least the initial width.
-			width = need
-			if width < h.initWidth {
-				width = h.initWidth
-			}
-		}
-		if width > top {
-			width = top // clamp at the bottom of the space
-		}
-		start := top - width
-		bands[i] = Band{
+	bands := make([]Band, 0, nBands)
+	h.walkBands(counts, func(i int, start, width uint32) bool {
+		bands = append(bands, Band{
 			Class: nBands - 1 - i, // class index ascending with TTL
 			Low:   h.lowTTLOfBand(i),
 			Start: start,
 			Width: width,
 			Count: counts[i],
+		})
+		return true
+	})
+	return bands
+}
+
+// walkBands runs the hybrid's push-and-shrink cursor walk top-down (band 0
+// is the highest-TTL band), yielding each band's bounds; yield returning
+// false stops the walk. Shared by Layout and the allocation-free Allocate.
+func (h *Hybrid) walkBands(counts []int, yield func(i int, start, width uint32) bool) {
+	cursor := h.size
+	for i := 0; i < len(counts); i++ {
+		top := h.initTop[i]
+		pushed := cursor < top
+		if pushed {
+			top = cursor
+		}
+		width := uint32(math.Ceil(float64(counts[i]) / h.occupancy))
+		if width < 1 {
+			width = 1
+		}
+		if !pushed && width < h.initWidth {
+			// Unpushed: keep at least the initial width. (A band pushed
+			// from above while under-occupied shrinks to need instead.)
+			width = h.initWidth
+		}
+		if width > top {
+			width = top // clamp at the bottom of the space
+		}
+		start := top - width
+		if !yield(i, start, width) {
+			return
 		}
 		next := int64(start) - int64(h.perGap)
 		if next < 0 {
@@ -135,7 +142,6 @@ func (h *Hybrid) Layout(visible []SessionInfo) []Band {
 		}
 		cursor = uint32(next)
 	}
-	return bands
 }
 
 func (h *Hybrid) lowTTLOfBand(i int) mcast.TTL {
@@ -147,13 +153,28 @@ func (h *Hybrid) lowTTLOfBand(i int) mcast.TTL {
 	return h.seps[idx-1]
 }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. Like Adaptive.Allocate, the hot path is
+// allocation-free: on-stack band counts, a walk that stops at the target
+// band, and a pooled used-address bitset.
 func (h *Hybrid) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
-	bands := h.Layout(visible)
-	i := h.bandOf(ttl)
-	band := bands[i]
-	if addr, ok := expandingPick(band.Start, band.Width, h.size, newUsedSet(visible), rng); ok {
+	var countsBuf [16]int
+	counts := countsBuf[:len(h.seps)+1]
+	for _, s := range visible {
+		counts[h.bandOf(s.TTL)]++
+	}
+	target := h.bandOf(ttl)
+	var bandStart, bandWidth uint32
+	h.walkBands(counts, func(i int, start, width uint32) bool {
+		if i == target {
+			bandStart, bandWidth = start, width
+			return false
+		}
+		return true
+	})
+	used := acquireUsed(h.size, visible)
+	defer releaseUsed(used)
+	if addr, ok := expandingPick(bandStart, bandWidth, used, rng); ok {
 		return addr, nil
 	}
-	return 0, fmt.Errorf("%w (band %d, TTL %d, %s)", ErrSpaceFull, i, ttl, h.name)
+	return 0, fmt.Errorf("%w (band %d, TTL %d, %s)", ErrSpaceFull, target, ttl, h.name)
 }

@@ -84,7 +84,9 @@ func (p *StaticPartitioned) BandRange(b int) (start, width uint32) {
 // curves are "limited by higher scope bands filling completely".
 func (p *StaticPartitioned) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
 	start, width := p.BandRange(p.BandOf(ttl))
-	a, ok := pickFreeInRange(start, width, newUsedSet(visible), rng)
+	used := acquireUsed(p.size, visible)
+	defer releaseUsed(used)
+	a, ok := pickFreeInRange(start, width, used, rng)
 	if !ok {
 		return 0, fmt.Errorf("%w (band %d of %s for TTL %d)", ErrSpaceFull, p.BandOf(ttl), p.name, ttl)
 	}

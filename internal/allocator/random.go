@@ -51,7 +51,9 @@ func (r *InformedRandom) Size() uint32 { return r.size }
 
 // Allocate implements Allocator.
 func (r *InformedRandom) Allocate(visible []SessionInfo, _ mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
-	a, ok := pickFreeInRange(0, r.size, newUsedSet(visible), rng)
+	used := acquireUsed(r.size, visible)
+	defer releaseUsed(used)
+	a, ok := pickFreeInRange(0, r.size, used, rng)
 	if !ok {
 		return 0, ErrSpaceFull
 	}

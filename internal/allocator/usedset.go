@@ -1,0 +1,107 @@
+package allocator
+
+import (
+	"math/bits"
+	"sync"
+
+	"sessiondir/internal/mcast"
+)
+
+// usedSet is a word-parallel bitset over address indices, replacing the
+// former map[mcast.Addr]bool presence view. Instances are pooled so the
+// per-Allocate hot path performs no heap allocation in steady state:
+// acquire with acquireUsed, release with releaseUsed.
+type usedSet struct {
+	words []uint64
+	size  uint32
+}
+
+// usedPool recycles usedSet backing arrays across Allocate calls. Pooling
+// (rather than a per-allocator scratch field) keeps Allocator values
+// stateless and therefore safe to share between the experiment engine's
+// workers.
+var usedPool = sync.Pool{New: func() any { return new(usedSet) }}
+
+// acquireUsed returns a cleared bitset over [0, size) with every visible
+// session's address marked. Out-of-range addresses are ignored: they can
+// never collide with an allocation from this space, matching the old map's
+// behaviour (present but never queried).
+func acquireUsed(size uint32, visible []SessionInfo) *usedSet {
+	u := usedPool.Get().(*usedSet)
+	u.reset(size)
+	for _, s := range visible {
+		if uint32(s.Addr) < size {
+			u.add(s.Addr)
+		}
+	}
+	return u
+}
+
+// releaseUsed returns a bitset to the pool.
+func releaseUsed(u *usedSet) { usedPool.Put(u) }
+
+func (u *usedSet) reset(size uint32) {
+	n := int(size+63) / 64
+	if cap(u.words) < n {
+		u.words = make([]uint64, n)
+	} else {
+		u.words = u.words[:n]
+		clear(u.words)
+	}
+	u.size = size
+}
+
+func (u *usedSet) add(a mcast.Addr) { u.words[a>>6] |= 1 << (uint(a) & 63) }
+
+func (u *usedSet) has(a mcast.Addr) bool {
+	return u.words[a>>6]&(1<<(uint(a)&63)) != 0
+}
+
+// countUsed returns the number of marked addresses in [start, end).
+func (u *usedSet) countUsed(start, end uint32) uint32 {
+	if start >= end {
+		return 0
+	}
+	firstWord, lastWord := start>>6, (end-1)>>6
+	loMask := ^uint64(0) << (start & 63)
+	hiMask := ^uint64(0) >> (63 - (end-1)&63)
+	if firstWord == lastWord {
+		return uint32(bits.OnesCount64(u.words[firstWord] & loMask & hiMask))
+	}
+	total := bits.OnesCount64(u.words[firstWord] & loMask)
+	for w := firstWord + 1; w < lastWord; w++ {
+		total += bits.OnesCount64(u.words[w])
+	}
+	total += bits.OnesCount64(u.words[lastWord] & hiMask)
+	return uint32(total)
+}
+
+// nthFree returns the j-th (0-based) unmarked address in [start, end),
+// scanning in ascending order. ok is false if fewer than j+1 addresses are
+// free — callers should have sized j from countUsed first.
+func (u *usedSet) nthFree(start, end uint32, j uint32) (mcast.Addr, bool) {
+	if start >= end {
+		return 0, false
+	}
+	firstWord, lastWord := start>>6, (end-1)>>6
+	for w := firstWord; w <= lastWord; w++ {
+		free := ^u.words[w]
+		if w == firstWord {
+			free &= ^uint64(0) << (start & 63)
+		}
+		if w == lastWord {
+			free &= ^uint64(0) >> (63 - (end-1)&63)
+		}
+		n := uint32(bits.OnesCount64(free))
+		if j >= n {
+			j -= n
+			continue
+		}
+		// Select the j-th set bit of free: drop the j lowest set bits.
+		for ; j > 0; j-- {
+			free &= free - 1
+		}
+		return mcast.Addr(uint32(w)<<6 + uint32(bits.TrailingZeros64(free))), true
+	}
+	return 0, false
+}

@@ -1,0 +1,119 @@
+package allocator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// naiveCountUsed mirrors usedSet.countUsed bit by bit.
+func naiveCountUsed(u *usedSet, start, end uint32) uint32 {
+	n := uint32(0)
+	for a := start; a < end; a++ {
+		if u.has(mcast.Addr(a)) {
+			n++
+		}
+	}
+	return n
+}
+
+// naiveNthFree mirrors usedSet.nthFree by linear scan.
+func naiveNthFree(u *usedSet, start, end, j uint32) (mcast.Addr, bool) {
+	for a := start; a < end; a++ {
+		if !u.has(mcast.Addr(a)) {
+			if j == 0 {
+				return mcast.Addr(a), true
+			}
+			j--
+		}
+	}
+	return 0, false
+}
+
+func TestUsedSetCountAndSelectMatchNaive(t *testing.T) {
+	err := quick.Check(func(seed uint64, sizeRaw uint16, nUsed uint8) bool {
+		size := uint32(sizeRaw)%500 + 1
+		rng := stats.NewRNG(seed)
+		u := new(usedSet)
+		u.reset(size)
+		for i := 0; i < int(nUsed); i++ {
+			u.add(mcast.Addr(rng.IntN(int(size))))
+		}
+		// Random sub-ranges, including empty and word-straddling ones.
+		for trial := 0; trial < 8; trial++ {
+			start := uint32(rng.IntN(int(size)))
+			end := start + uint32(rng.IntN(int(size-start)+1))
+			if got, want := u.countUsed(start, end), naiveCountUsed(u, start, end); got != want {
+				t.Logf("countUsed(%d,%d) = %d, want %d", start, end, got, want)
+				return false
+			}
+			free := (end - start) - u.countUsed(start, end)
+			for _, j := range []uint32{0, free / 2, free} {
+				gotA, gotOK := u.nthFree(start, end, j)
+				wantA, wantOK := naiveNthFree(u, start, end, j)
+				if gotOK != wantOK || (gotOK && gotA != wantA) {
+					t.Logf("nthFree(%d,%d,%d) = %v,%v want %v,%v", start, end, j, gotA, gotOK, wantA, wantOK)
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsedSetResetClearsReusedWords(t *testing.T) {
+	u := new(usedSet)
+	u.reset(200)
+	u.add(3)
+	u.add(130)
+	u.reset(100) // smaller space reusing the same backing array
+	if u.has(3) {
+		t.Fatal("reset did not clear prior contents")
+	}
+	if got := u.countUsed(0, 100); got != 0 {
+		t.Fatalf("countUsed after reset = %d", got)
+	}
+}
+
+func TestAcquireUsedIgnoresOutOfRange(t *testing.T) {
+	u := acquireUsed(10, []SessionInfo{{Addr: 3, TTL: 1}, {Addr: 500, TTL: 1}})
+	defer releaseUsed(u)
+	if !u.has(3) {
+		t.Fatal("in-range address not marked")
+	}
+	if got := u.countUsed(0, 10); got != 1 {
+		t.Fatalf("countUsed = %d, want 1", got)
+	}
+}
+
+// The ISSUE's acceptance bar: the allocation hot path performs at most 2
+// heap allocations per call (steady state; the pooled bitset and on-stack
+// scratch make it 0 for every catalog algorithm).
+func TestAllocateHotPathAllocationFree(t *testing.T) {
+	rng := stats.NewRNG(5)
+	d := mcast.DS4()
+	var view []SessionInfo
+	for i := 0; i < 500; i++ {
+		view = append(view, SessionInfo{Addr: mcast.Addr(rng.IntN(4096)), TTL: d.Sample(rng.IntN)})
+	}
+	for _, a := range Catalog(4096) {
+		a := a
+		// Warm the pool and any lazy state outside the measured window.
+		if _, err := a.Allocate(view, 127, rng); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			if _, err := a.Allocate(view, 127, rng); err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+		})
+		if avg > 2 {
+			t.Errorf("%s: %.1f allocs/op, want <= 2", a.Name(), avg)
+		}
+	}
+}

@@ -44,6 +44,11 @@ type Scale struct {
 	RRTrials     int
 
 	Seed uint64
+
+	// Workers is the experiment engine's concurrency: 0 means GOMAXPROCS,
+	// 1 forces serial execution. Results are bit-identical at any worker
+	// count (see internal/par); the knob only trades wall-clock for cores.
+	Workers int
 }
 
 // Quick returns a scale suitable for CI: minutes, not hours.

@@ -76,6 +76,7 @@ func RunFig5(w io.Writer, s Scale) error {
 			MakeAlloc:  alg.Make,
 			Trials:     s.Fig5Trials,
 			Seed:       s.Seed,
+			Workers:    s.Workers,
 		})
 		for _, p := range pts {
 			fmt.Fprintln(w, p.String())
@@ -152,6 +153,7 @@ func runFig12(w io.Writer, s Scale, upper bool) error {
 			Reps:       s.Fig12Reps,
 			UpperBound: upper,
 			Seed:       s.Seed,
+			Workers:    s.Workers,
 		})
 		for _, p := range pts {
 			fmt.Fprintln(w, p.String())
@@ -186,6 +188,7 @@ func runFig13(w io.Writer, s Scale) error {
 			Reps:       s.Fig12Reps,
 			UpperBound: true,
 			Seed:       s.Seed,
+			Workers:    s.Workers,
 		})
 		for _, p := range pts {
 			fmt.Fprintln(w, p.String())

@@ -16,6 +16,7 @@ import (
 
 	"sessiondir/internal/allocator"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/par"
 	"sessiondir/internal/stats"
 	"sessiondir/internal/topology"
 )
@@ -28,23 +29,38 @@ type Session struct {
 	reach  *topology.NodeSet
 }
 
-// World is the shared state of an allocation simulation: the topology, the
-// scope cache and the live session set.
+// World is the state of one allocation simulation: the topology, the scope
+// cache and the live session set. A World belongs to a single trial (one
+// goroutine); the ReachCache it references may be shared across many
+// concurrent worlds.
 type World struct {
 	Graph    *topology.Graph
 	Cache    *topology.ReachCache
 	Sessions []Session
+	// visScratch backs VisibleAt so the per-allocation hot path does not
+	// allocate O(sessions) per step.
+	visScratch []allocator.SessionInfo
 }
 
-// NewWorld returns an empty world over g.
+// NewWorld returns an empty world over g with its own private scope cache.
 func NewWorld(g *topology.Graph) *World {
-	return &World{Graph: g, Cache: topology.NewReachCache(g)}
+	return NewWorldWithCache(g, topology.NewReachCache(g))
+}
+
+// NewWorldWithCache returns an empty world over g backed by a shared scope
+// cache — the form the parallel experiment engine uses, so every trial of
+// a sweep reuses one cache's trees and reach sets instead of recomputing
+// them per trial.
+func NewWorldWithCache(g *topology.Graph, cache *topology.ReachCache) *World {
+	return &World{Graph: g, Cache: cache}
 }
 
 // VisibleAt returns the sessions whose announcements reach the observer,
-// in allocator form. The result is freshly allocated per call.
+// in allocator form. The returned slice is backed by a per-world scratch
+// buffer: it is valid until the next VisibleAt call on this world and must
+// not be retained (the Allocator contract already forbids retention).
 func (w *World) VisibleAt(observer topology.NodeID) []allocator.SessionInfo {
-	out := make([]allocator.SessionInfo, 0, len(w.Sessions))
+	out := w.visScratch[:0]
 	for i := range w.Sessions {
 		if w.Sessions[i].reach.Contains(observer) {
 			out = append(out, allocator.SessionInfo{
@@ -53,6 +69,7 @@ func (w *World) VisibleAt(observer topology.NodeID) []allocator.SessionInfo {
 			})
 		}
 	}
+	w.visScratch = out
 	return out
 }
 
@@ -160,36 +177,70 @@ type Fig5Config struct {
 	Graph      *topology.Graph
 	SpaceSizes []uint32
 	Dists      []mcast.TTLDistribution
-	// MakeAlloc builds the allocator under test for a space size.
+	// MakeAlloc builds the allocator under test for a space size. It must
+	// be deterministic (same size → equivalent allocator) and cheap; the
+	// parallel engine may call it once per trial.
 	MakeAlloc func(size uint32) allocator.Allocator
 	Trials    int
 	Seed      uint64
+	// Workers caps the engine's concurrency: 0 means GOMAXPROCS, 1 forces
+	// the serial path. Results are bit-identical for every worker count —
+	// trial RNGs are pre-split in submission order and aggregated by index.
+	Workers int
 }
 
 // RunFig5 sweeps space sizes × distributions for one algorithm, averaging
-// allocations-before-clash over trials.
+// allocations-before-clash over trials. Trials run in parallel across
+// Workers goroutines sharing one scope cache; output is deterministic for
+// a fixed Seed regardless of worker count.
 func RunFig5(cfg Fig5Config) []Fig5Point {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
+	// Pre-split one RNG per trial in the exact order the serial
+	// size→dist→trial loop would split them: the parent RNG is advanced
+	// only by Split, so the pre-split streams are identical to serial ones.
+	type trialTask struct {
+		size uint32
+		dist mcast.TTLDistribution
+		rng  *stats.RNG
+	}
 	root := stats.NewRNG(cfg.Seed)
-	var out []Fig5Point
+	tasks := make([]trialTask, 0, len(cfg.SpaceSizes)*len(cfg.Dists)*cfg.Trials)
 	for _, size := range cfg.SpaceSizes {
-		al := cfg.MakeAlloc(size)
+		for _, dist := range cfg.Dists {
+			for trial := 0; trial < cfg.Trials; trial++ {
+				tasks = append(tasks, trialTask{size: size, dist: dist, rng: root.Split()})
+			}
+		}
+	}
+	cache := topology.NewReachCache(cfg.Graph)
+	results := make([]FillResult, len(tasks))
+	par.For(cfg.Workers, len(tasks), func(i int) {
+		t := tasks[i]
+		w := NewWorldWithCache(cfg.Graph, cache)
+		al := cfg.MakeAlloc(t.size)
+		results[i] = FillUntilClash(w, FillConfig{Alloc: al, Dist: t.dist}, t.rng)
+	})
+	// Fold per-trial results in submission order, so summary statistics
+	// accumulate floats in the same order as a serial run.
+	var out []Fig5Point
+	i := 0
+	for _, size := range cfg.SpaceSizes {
+		name := cfg.MakeAlloc(size).Name()
 		for _, dist := range cfg.Dists {
 			var s stats.Summary
 			full := 0
 			for trial := 0; trial < cfg.Trials; trial++ {
-				rng := root.Split()
-				w := NewWorld(cfg.Graph)
-				res := FillUntilClash(w, FillConfig{Alloc: al, Dist: dist}, rng)
+				res := results[i]
+				i++
 				s.Add(float64(res.Allocations))
 				if res.SpaceFull {
 					full++
 				}
 			}
 			out = append(out, Fig5Point{
-				Algorithm:    al.Name(),
+				Algorithm:    name,
 				Dist:         dist.Name,
 				SpaceSize:    size,
 				MeanAllocs:   s.Mean(),

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+func parallelTestGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.GenerateMbone(topology.MboneConfig{Nodes: 120}, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The parallel engine's contract: RunFig5 output is bit-identical at any
+// worker count because per-trial RNGs are pre-split in submission order and
+// summaries are folded serially by index.
+func TestRunFig5ParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph(t)
+	mk := func(workers int) []Fig5Point {
+		return RunFig5(Fig5Config{
+			Graph:      g,
+			SpaceSizes: []uint32{50, 100},
+			Dists:      []mcast.TTLDistribution{mcast.DS1(), mcast.DS4()},
+			MakeAlloc:  func(size uint32) allocator.Allocator { return allocator.NewInformedRandom(size) },
+			Trials:     6,
+			Seed:       1998,
+			Workers:    workers,
+		})
+	}
+	serial := mk(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := mk(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d diverges from serial:\n got  %+v\n want %+v", workers, got, serial)
+		}
+	}
+}
+
+// Same contract for the steady-state estimator behind Figures 12/13.
+func TestClashProbabilityParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph(t)
+	cache := topology.NewReachCache(g)
+	run := func(workers int) float64 {
+		return ClashProbability(g, cache, SteadyStateConfig{
+			Alloc:    allocator.NewHybrid(100),
+			Dist:     mcast.DS4(),
+			Sessions: 30,
+			Workers:  workers,
+		}, 12, stats.NewRNG(77))
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != serial {
+			t.Fatalf("workers=%d: p=%v, serial p=%v", workers, got, serial)
+		}
+	}
+}
+
+// And for the full Figure-12 sweep, which nests ClashProbability probes.
+func TestRunFig12ParallelMatchesSerial(t *testing.T) {
+	g := parallelTestGraph(t)
+	run := func(workers int) []Fig12Point {
+		return RunFig12(Fig12Config{
+			Graph:      g,
+			SpaceSizes: []uint32{50},
+			MakeAlloc: func(size uint32) allocator.Allocator {
+				return allocator.NewStaticPartitioned(size, allocator.IPR3Separators())
+			},
+			Dist:    mcast.DS4(),
+			Reps:    8,
+			Seed:    1998,
+			Workers: workers,
+		})
+	}
+	serial := run(1)
+	if got := run(6); !reflect.DeepEqual(got, serial) {
+		t.Fatalf("parallel Fig12 diverges:\n got  %+v\n want %+v", got, serial)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"sessiondir/internal/allocator"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/par"
 	"sessiondir/internal/stats"
 	"sessiondir/internal/topology"
 )
@@ -35,6 +36,12 @@ type SteadyStateConfig struct {
 	Workload Workload
 	// RepairPasses bounds step 2's clash-elimination sweeps.
 	RepairPasses int
+	// Workers caps ClashProbability's concurrency across repetitions:
+	// 0 means GOMAXPROCS, 1 forces the serial path. Estimates are
+	// bit-identical for every worker count (per-rep RNGs are pre-split in
+	// submission order). Alloc and Workload are shared across workers and
+	// must be immutable, which every implementation in this repo is.
+	Workers int
 }
 
 // workload resolves the effective Workload for a run over graph g.
@@ -126,14 +133,25 @@ func RunSteadyStateOnce(g *topology.Graph, cache *topology.ReachCache, cfg Stead
 }
 
 // ClashProbability estimates P(≥1 clash during n replacements) over reps
-// repetitions.
+// repetitions. Repetitions run in parallel across cfg.Workers goroutines
+// sharing the scope cache; the estimate is deterministic for a fixed rng
+// state regardless of worker count.
 func ClashProbability(g *topology.Graph, cache *topology.ReachCache, cfg SteadyStateConfig, reps int, rng *stats.RNG) float64 {
 	if reps < 1 {
 		reps = 1
 	}
+	// Pre-split per-rep RNGs in submission order (identical to the streams
+	// a serial loop would draw, since the parent advances only via Split).
+	rngs := make([]*stats.RNG, reps)
+	for r := range rngs {
+		rngs[r] = rng.Split()
+	}
+	results := make([]SteadyStateResult, reps)
+	par.For(cfg.Workers, reps, func(r int) {
+		results[r] = RunSteadyStateOnce(g, cache, cfg, rngs[r])
+	})
 	hits := 0
-	for r := 0; r < reps; r++ {
-		res := RunSteadyStateOnce(g, cache, cfg, rng.Split())
+	for _, res := range results {
 		if res.Clashes > 0 || res.Exhausted {
 			hits++
 		}
@@ -162,6 +180,9 @@ type Fig12Config struct {
 	// Workload optionally overrides the churn process (see SteadyStateConfig).
 	Workload Workload
 	Seed     uint64
+	// Workers is the engine concurrency for the probe repetitions
+	// (see SteadyStateConfig.Workers).
+	Workers int
 }
 
 // RunFig12 finds, for each space size, the acceptability threshold of §2.6:
@@ -194,6 +215,7 @@ func RunFig12(cfg Fig12Config) []Fig12Point {
 				Sessions:   n,
 				UpperBound: cfg.UpperBound,
 				Workload:   cfg.Workload,
+				Workers:    cfg.Workers,
 			}, cfg.Reps, root.Split())
 		}
 		smoothed := stats.MedianFilter(probs, 3)

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"math/bits"
+	"sync"
 
 	"sessiondir/internal/mcast"
 )
@@ -39,6 +40,15 @@ func (s *NodeSet) Len() int {
 func (s *NodeSet) Universe() int { return s.n }
 
 // Intersects reports whether s and t share any member.
+//
+// Both sets must be over the same node universe (built for the same
+// graph). When the universes differ, the comparison silently truncates to
+// the shorter set's words: members of the larger universe beyond the
+// smaller one's range can never register an intersection. Cross-graph
+// comparisons are therefore meaningless — node 5 of one topology has no
+// relation to node 5 of another — and callers are expected never to mix
+// sets from different graphs. TestNodeSetIntersectsMismatchedUniverses
+// pins the truncation behaviour.
 func (s *NodeSet) Intersects(t *NodeSet) bool {
 	n := len(s.words)
 	if len(t.words) < n {
@@ -104,12 +114,30 @@ func Reach(g *Graph, t *Tree, ttl mcast.TTL) *NodeSet {
 	return set
 }
 
+// reachShards is the lock-striping factor of ReachCache. Entries are
+// striped by source node, so workers simulating sessions from different
+// origins rarely contend on the same lock.
+const reachShards = 16
+
 // ReachCache memoises Reach sets and shortest path trees keyed by
 // (source, TTL). The allocation simulations look up the same scopes
 // repeatedly; a run over the 1864-node Mbone touches only a few thousand
 // distinct (source, TTL) pairs.
+//
+// The cache is safe for concurrent use: the parallel experiment engine
+// shares one cache across all workers of a sweep. Locks are sharded by
+// source node; lookups take a shard read-lock, and a miss computes the
+// tree/set outside any lock before publishing it (a racing duplicate
+// computation is possible but harmless — the first published value wins
+// and Reach is a pure function, so duplicates are identical). Returned
+// *NodeSet and *Tree values are shared and must be treated as read-only.
 type ReachCache struct {
-	g     *Graph
+	g      *Graph
+	shards [reachShards]reachShard
+}
+
+type reachShard struct {
+	mu    sync.RWMutex
 	trees map[NodeID]*Tree
 	sets  map[reachKey]*NodeSet
 }
@@ -121,31 +149,56 @@ type reachKey struct {
 
 // NewReachCache returns an empty cache over g.
 func NewReachCache(g *Graph) *ReachCache {
-	return &ReachCache{
-		g:     g,
-		trees: make(map[NodeID]*Tree),
-		sets:  make(map[reachKey]*NodeSet),
+	c := &ReachCache{g: g}
+	for i := range c.shards {
+		c.shards[i].trees = make(map[NodeID]*Tree)
+		c.shards[i].sets = make(map[reachKey]*NodeSet)
 	}
+	return c
+}
+
+func (c *ReachCache) shard(src NodeID) *reachShard {
+	return &c.shards[uint32(src)%reachShards]
 }
 
 // Tree returns (building if needed) the shortest path tree rooted at src.
 func (c *ReachCache) Tree(src NodeID) *Tree {
-	t, ok := c.trees[src]
-	if !ok {
-		t = NewSPTree(c.g, src)
-		c.trees[src] = t
+	sh := c.shard(src)
+	sh.mu.RLock()
+	t := sh.trees[src]
+	sh.mu.RUnlock()
+	if t != nil {
+		return t
 	}
+	t = NewSPTree(c.g, src)
+	sh.mu.Lock()
+	if prev := sh.trees[src]; prev != nil {
+		t = prev // another worker got here first; keep its tree canonical
+	} else {
+		sh.trees[src] = t
+	}
+	sh.mu.Unlock()
 	return t
 }
 
 // Reach returns (building if needed) the scope set of (src, ttl).
 func (c *ReachCache) Reach(src NodeID, ttl mcast.TTL) *NodeSet {
 	k := reachKey{src, ttl}
-	if s, ok := c.sets[k]; ok {
+	sh := c.shard(src)
+	sh.mu.RLock()
+	s := sh.sets[k]
+	sh.mu.RUnlock()
+	if s != nil {
 		return s
 	}
-	s := Reach(c.g, c.Tree(src), ttl)
-	c.sets[k] = s
+	s = Reach(c.g, c.Tree(src), ttl)
+	sh.mu.Lock()
+	if prev := sh.sets[k]; prev != nil {
+		s = prev
+	} else {
+		sh.sets[k] = s
+	}
+	sh.mu.Unlock()
 	return s
 }
 

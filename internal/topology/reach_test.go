@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+)
+
+// TestNodeSetIntersectsMismatchedUniverses pins the documented truncation
+// behaviour when two sets come from different node universes: comparison
+// covers only the common word prefix, so members beyond the smaller
+// universe can never intersect. Cross-graph comparisons are meaningless and
+// unsupported; this test exists so any future change to that contract is a
+// conscious one.
+func TestNodeSetIntersectsMismatchedUniverses(t *testing.T) {
+	small := NewNodeSet(10)  // 1 word
+	large := NewNodeSet(200) // 4 words
+
+	// Overlap within the common prefix is seen from both directions.
+	small.Add(5)
+	large.Add(5)
+	if !small.Intersects(large) || !large.Intersects(small) {
+		t.Fatal("common-prefix overlap not detected")
+	}
+
+	// Overlap only beyond the small universe is invisible: truncated.
+	small2 := NewNodeSet(10)
+	large2 := NewNodeSet(200)
+	large2.Add(150)
+	if small2.Intersects(large2) || large2.Intersects(small2) {
+		t.Fatal("empty small set cannot intersect anything")
+	}
+	// Same member id in both, but 150 is unrepresentable in the small
+	// universe — there is no "node 150" in a 10-node graph, so adding it
+	// would panic; the truncation means large2's member 150 never matches.
+	small2.Add(9)
+	if small2.Intersects(large2) {
+		t.Fatal("truncation must hide members beyond the common prefix")
+	}
+
+	// Symmetry: a first-word member intersects regardless of which set is
+	// the receiver, even with unequal word counts.
+	large2.Add(9)
+	if !small2.Intersects(large2) || !large2.Intersects(small2) {
+		t.Fatal("intersection in common prefix must be symmetric")
+	}
+}
+
+// TestReachCacheConcurrent exercises the sharded cache from many
+// goroutines over overlapping (src, ttl) keys. Run under -race (the
+// Makefile's race target does) this is the regression test for the
+// parallel experiment engine sharing one cache across workers.
+func TestReachCacheConcurrent(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 200}, stats.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewReachCache(g)
+	ttls := []mcast.TTL{15, 47, 63, 127, 191}
+
+	// Serial reference answers.
+	ref := make(map[reachKey]int)
+	refCache := NewReachCache(g)
+	for src := 0; src < 50; src++ {
+		for _, ttl := range ttls {
+			ref[reachKey{NodeID(src), ttl}] = refCache.Reach(NodeID(src), ttl).Len()
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker walks the key space in a different order so
+			// lookups and inserts interleave.
+			for i := 0; i < 50*len(ttls); i++ {
+				idx := (i*7 + w*13) % (50 * len(ttls))
+				src := NodeID(idx / len(ttls))
+				ttl := ttls[idx%len(ttls)]
+				set := cache.Reach(src, ttl)
+				if !set.Contains(src) {
+					errs <- "source missing from its own reach set"
+					return
+				}
+				if got := set.Len(); got != ref[reachKey{src, ttl}] {
+					errs <- "concurrent reach set differs from serial reference"
+					return
+				}
+				// Shared trees must also be stable under concurrent access.
+				if tr := cache.Tree(src); tr.Root != src {
+					errs <- "tree root mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestReachCacheConcurrentLCA pins that lazily-built LCA tables on shared
+// trees are goroutine-safe (sync.Once), since cached trees escape to the
+// request–response simulations too.
+func TestReachCacheConcurrentLCA(t *testing.T) {
+	g, err := GenerateMbone(MboneConfig{Nodes: 150}, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewReachCache(g)
+	tree := cache.Tree(0)
+	var wg sync.WaitGroup
+	results := make([]NodeID, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[w] = tree.LCA(NodeID(10), NodeID(120))
+		}()
+	}
+	wg.Wait()
+	for _, r := range results[1:] {
+		if r != results[0] {
+			t.Fatalf("concurrent LCA answers diverge: %v", results)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package topology
 import (
 	"container/heap"
 	"math"
+	"sync"
 )
 
 // Tree is a routing tree rooted at Root: either a source-based shortest
@@ -16,8 +17,10 @@ type Tree struct {
 	metric   []int32  // cumulative DVMRP metric from root
 	delay    []float64
 	children [][]NodeID
-	// binary-lifting ancestor table, built lazily by ensureLCA
-	up [][]NodeID
+	// binary-lifting ancestor table, built lazily by ensureLCA. Guarded by
+	// lcaOnce so trees shared through a concurrent ReachCache stay safe.
+	up      [][]NodeID
+	lcaOnce sync.Once
 }
 
 type pqItem struct {
@@ -131,11 +134,12 @@ func (t *Tree) MetricFromRoot(v NodeID) int32 { return t.metric[v] }
 // Children returns v's children. The slice is owned by the tree.
 func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
 
-// ensureLCA builds the binary lifting table on first use.
+// ensureLCA builds the binary lifting table on first use (concurrency-safe).
 func (t *Tree) ensureLCA() {
-	if t.up != nil {
-		return
-	}
+	t.lcaOnce.Do(t.buildLCA)
+}
+
+func (t *Tree) buildLCA() {
 	n := len(t.parent)
 	levels := 1
 	for 1<<levels < n {
