@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-snapshot
+.PHONY: all build test race vet lint lint-json bench bench-snapshot
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The determinism & concurrency gate: runs mclint's analyzers (detrand,
+# maporder, lockscope, errdrop) over the module. Nonzero exit on any
+# finding; see DESIGN.md §9 for the rules and the waiver syntax.
+lint:
+	$(GO) run ./cmd/mclint
+
+# Machine-readable diagnostics for tooling (JSON array on stdout).
+lint-json:
+	$(GO) run ./cmd/mclint -json
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -1,0 +1,88 @@
+// Command mclint is the repository's determinism & concurrency linter.
+// It loads the module's packages with the standard library's go/ast +
+// go/types machinery (no external dependencies) and runs the analyzers
+// registered in internal/analysis:
+//
+//	detrand    no wall clock or ambient randomness in deterministic packages
+//	maporder   no order-sensitive range-over-map in deterministic packages
+//	lockscope  no function calls while a sync mutex is held
+//	errdrop    no silently discarded errors on the network paths
+//
+// Findings print as file:line:col: analyzer: message and make the exit
+// status nonzero, so `make lint` gates CI. A finding can be waived at
+// its site with a justification comment:
+//
+//	//mclint:<analyzer> why order/time/the error cannot matter here
+//
+// Usage:
+//
+//	mclint [-C dir] [-only a,b | -skip a,b] [-json] [-list]
+//
+// -json emits the diagnostics as a JSON array for tooling ({"analyzer",
+// "file", "line", "col", "message"}); an empty run emits [].
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sessiondir/internal/analysis"
+)
+
+func main() {
+	var (
+		dir     = flag.String("C", ".", "module root to analyze")
+		only    = flag.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip    = flag.String("skip", "", "comma-separated analyzers to skip")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		list    = flag.Bool("list", false, "list the registered analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := analysis.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunModule(loader, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "mclint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "mclint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -83,7 +83,8 @@ func main() {
 	if *cacheFile != "" {
 		if f, err := os.Open(*cacheFile); err == nil {
 			n, lerr := dir.LoadCache(f)
-			f.Close()
+			_ = f.Close() // read-only handle; nothing to act on
+
 			if lerr != nil {
 				log.Printf("cache load: %v", lerr)
 			} else {

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestDetRandFixture(t *testing.T) {
+	diags := runFixture(t, "detrand", DetRand)
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6:\n%s", len(diags), diagnosticSummary(diags))
+	}
+}

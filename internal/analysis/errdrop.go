@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns in the network paths. A dropped
+// send error in transport or announce silently turns "the announcement
+// went out" into "the announcement may have gone out", which downstream
+// logic (re-announcement timers, clash detection) then reasons about
+// incorrectly; a dropped parse error in sap accepts a corrupt packet.
+//
+// Three statement forms discard errors:
+//
+//	f()         // expression statement: every result dropped
+//	go f()      // results of the goroutine's call are unobservable
+//	defer f()   // results dropped at function exit
+//
+// Deferred Close is exempt — `defer f.Close()` on teardown paths is the
+// established Go idiom and the error is rarely actionable; every other
+// deferred error must be handled in a wrapper (`defer func() { ... }()`)
+// or explicitly assigned away. Assigning to the blank identifier
+// (`_ = f()`) is visible intent and is not flagged.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error returns in the network paths; " +
+		"handle the error, or assign it to _ to show intent",
+	Packages: []string{
+		"sessiondir/internal/transport",
+		"sessiondir/internal/sap",
+		"sessiondir/internal/announce",
+		"sessiondir/cmd/sdrd",
+	},
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && returnsError(pass, call) {
+					pass.Reportf(call.Pos(),
+						"result of %s includes an error that is discarded; handle it or assign to _",
+						exprString(call.Fun))
+				}
+			case *ast.GoStmt:
+				if returnsError(pass, s.Call) {
+					pass.Reportf(s.Call.Pos(),
+						"error returned by %s is unobservable from a go statement; wrap it in a closure that handles the error",
+						exprString(s.Call.Fun))
+				}
+			case *ast.DeferStmt:
+				if returnsError(pass, s.Call) && !isCloseCall(s.Call) {
+					pass.Reportf(s.Call.Pos(),
+						"error returned by deferred %s is discarded; handle it in a closure or assign to _",
+						exprString(s.Call.Fun))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+func isCloseCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestErrDropFixture(t *testing.T) {
+	diags := runFixture(t, "errdrop", ErrDrop)
+	if len(diags) != 4 {
+		t.Errorf("got %d diagnostics, want 4:\n%s", len(diags), diagnosticSummary(diags))
+	}
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestMapOrderFixture(t *testing.T) {
+	diags := runFixture(t, "maporder", MapOrder)
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5:\n%s", len(diags), diagnosticSummary(diags))
+	}
+}

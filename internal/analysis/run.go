@@ -1,0 +1,78 @@
+package analysis
+
+import "sort"
+
+// RunModule loads every package targeted by the selected analyzers and
+// runs each analyzer over its targets, returning the surviving (non-
+// waived) diagnostics sorted by position. A nil selection means All().
+func RunModule(l *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	paths := targetUnion(analyzers)
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, RunPackage(pkg, analyzers)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage runs the applicable subset of analyzers over one loaded
+// package, validates the package's waiver comments, and returns the
+// diagnostics that survive waiving (unsorted).
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	waivers := collectWaivers(pkg, &diags)
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		runOne(pkg, a, &diags)
+	}
+	return applyWaivers(diags, waivers)
+}
+
+// RunFixture runs the given analyzers over pkg unconditionally (ignoring
+// their package targeting) with waiver processing — the entry point for
+// analyzer tests over fixture packages.
+func RunFixture(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	waivers := collectWaivers(pkg, &diags)
+	for _, a := range analyzers {
+		runOne(pkg, a, &diags)
+	}
+	diags = applyWaivers(diags, waivers)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func runOne(pkg *Package, a *Analyzer, diags *[]Diagnostic) {
+	a.Run(&Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Pkg,
+		Info:     pkg.Info,
+		analyzer: a,
+		diags:    diags,
+	})
+}
+
+func targetUnion(analyzers []*Analyzer) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range analyzers {
+		for _, p := range a.Packages {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,35 @@
+// Package detrand is a fixture for the detrand analyzer: a stand-in for
+// a deterministic simulation package that reaches for ambient entropy.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(start) // want `time\.Since reads the wall clock`
+	f := time.Now         // want `time\.Now reads the wall clock`
+	_ = f
+	return 2 * time.Second // time arithmetic without reading the clock is fine
+}
+
+func timeTypesAllowed(deadline time.Time, d time.Duration) bool {
+	return deadline.Add(d).IsZero() // methods on caller-supplied times are fine
+}
+
+func globalRand() int {
+	if rand.IntN(2) == 0 { // want `math/rand/v2\.IntN draws from the process-global generator`
+		return rand.Int() // want `math/rand/v2\.Int draws from the process-global generator`
+	}
+	r := rand.New(rand.NewPCG(1, 2)) // explicit generators are the sanctioned path
+	return r.IntN(10)
+}
+
+func cryptoRand() []byte {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want `crypto/rand\.Read is nondeterministic entropy`
+	return buf
+}

@@ -1,0 +1,37 @@
+// Package errdrop is a fixture for the errdrop analyzer: error returns
+// on the network paths must be handled or visibly assigned away.
+package errdrop
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+func (conn) Flush() error { return nil }
+
+func drops() {
+	fallible()    // want `includes an error that is discarded`
+	pair()        // want `includes an error that is discarded`
+	go fallible() // want `unobservable from a go statement`
+	var c conn
+	defer c.Flush() // want `error returned by deferred c\.Flush is discarded`
+}
+
+func handles() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible() // explicit discard is visible intent
+	_, _ = pair()
+	var c conn
+	defer c.Close() // deferred Close is conventional teardown
+	pure()          // no error in the results
+	go pure()
+	return nil
+}

@@ -1,0 +1,105 @@
+// Package maporder is a fixture for the maporder analyzer: range-over-
+// map bodies that are provably order-insensitive stay quiet; bodies
+// whose effect depends on visit order are flagged.
+package maporder
+
+import "sort"
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative accumulation
+		total += v
+	}
+	return total
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func keyed(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // keyed writes land at the same key in any order
+		out[k] = v * 2
+	}
+	return out
+}
+
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: the sort erases append order
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func minVal(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	for _, v := range m { // running-extremum update
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func filtered(m map[string]int) int {
+	total := 0
+	for k, v := range m { // pure filter + accumulation
+		if len(k) == 0 {
+			continue
+		}
+		total += v
+	}
+	return total
+}
+
+func pruned(m map[string]int, dead map[string]bool) {
+	for k := range m {
+		if dead[k] {
+			delete(m, k)
+		}
+	}
+}
+
+func appendUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `order-sensitive`
+		out = append(out, v)
+	}
+	return out
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `order-sensitive`
+		s += k
+	}
+	return s
+}
+
+func firstKey(m map[string]int) string {
+	for k := range m { // want `order-sensitive`
+		return k
+	}
+	return ""
+}
+
+func callsOut(m map[string]int, f func(string)) {
+	for k := range m { // want `order-sensitive`
+		f(k)
+	}
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `order-sensitive`
+		keys = append(keys, k)
+	}
+	return keys
+}

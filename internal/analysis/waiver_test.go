@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// TestWaiverFixture pins the waiver contract: each //mclint:maporder
+// waiver suppresses exactly the one diagnostic at its site (both the
+// lead and trailing comment forms), an identical unwaived loop still
+// fires, and a waiver naming an unknown analyzer is itself reported.
+func TestWaiverFixture(t *testing.T) {
+	diags := runFixture(t, "waiver", MapOrder)
+
+	// The fixture has three violating loops, two of them waived, plus
+	// one bogus waiver comment → exactly two findings survive.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(diags), diagnosticSummary(diags))
+	}
+	var mapOrderCount, waiverCount int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case MapOrder.Name:
+			mapOrderCount++
+		case WaiverDiagnostic:
+			waiverCount++
+		}
+	}
+	if mapOrderCount != 1 {
+		t.Errorf("got %d surviving maporder diagnostics, want exactly 1 (each waiver suppresses exactly one):\n%s",
+			mapOrderCount, diagnosticSummary(diags))
+	}
+	if waiverCount != 1 {
+		t.Errorf("got %d unknown-waiver diagnostics, want exactly 1:\n%s", waiverCount, diagnosticSummary(diags))
+	}
+}

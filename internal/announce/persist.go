@@ -39,9 +39,11 @@ func (c *Cache) Save(w io.Writer) error {
 		if err != nil {
 			continue // skip invalid cached descriptions
 		}
-		fmt.Fprintf(bw, "entry %d %d %d\n", e.FirstHeard.Unix(), e.LastHeard.Unix(), len(data))
-		bw.Write(data) //nolint:errcheck // flush reports any error
-		bw.WriteByte('\n')
+		// bufio.Writer errors are sticky: once a write fails, later writes
+		// are no-ops and the final Flush returns the first error.
+		fmt.Fprintf(bw, "entry %d %d %d\n", e.FirstHeard.Unix(), e.LastHeard.Unix(), len(data)) //mclint:errdrop sticky; Flush reports it
+		bw.Write(data)     //mclint:errdrop sticky; Flush reports it
+		bw.WriteByte('\n') //mclint:errdrop sticky; Flush reports it
 	}
 	return bw.Flush()
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"sessiondir"
@@ -87,8 +88,16 @@ func RunDiscovery(w io.Writer, s Scale) error {
 					return err
 				}
 				engine.RunFor(10 * time.Minute)
-				for _, at := range learnedAt {
-					delays.Add(at.Sub(createdAt).Seconds())
+				// Fold delays in listener order: float accumulation is not
+				// associative, so summing in map order would make the mean
+				// differ run to run.
+				idxs := make([]int, 0, len(learnedAt))
+				for idx := range learnedAt {
+					idxs = append(idxs, idx)
+				}
+				sort.Ints(idxs)
+				for _, idx := range idxs {
+					delays.Add(learnedAt[idx].Sub(createdAt).Seconds())
 					learned++
 				}
 				fleet.Close()

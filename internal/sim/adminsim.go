@@ -22,6 +22,27 @@ type AdminFillResult struct {
 	ZonesFull   int
 }
 
+// addrSet is a slice-backed address membership set. The fill loop only
+// ever asks "is this address taken?", but backing it with a bitset (not a
+// map) keeps the set impossible to iterate in randomized order — the
+// mclint/maporder audit class — and avoids per-address map overhead.
+type addrSet struct {
+	words []uint64
+}
+
+func (s *addrSet) has(a uint32) bool {
+	w := int(a >> 6)
+	return w < len(s.words) && s.words[w]&(1<<(a&63)) != 0
+}
+
+func (s *addrSet) add(a uint32) {
+	w := int(a >> 6)
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (a & 63)
+}
+
 // FillAdminZones allocates sessions with admin scoping until every zone's
 // space is exhausted or maxSessions is reached, counting clashes. The
 // allocator sees the zone-local view (perfect, by admin-scope symmetry).
@@ -29,12 +50,12 @@ func FillAdminZones(zones []*topology.AdminZone, alloc func() allocator.Allocato
 	type zoneState struct {
 		alloc allocator.Allocator
 		used  []allocator.SessionInfo
-		inUse map[uint32]bool
+		inUse addrSet
 		full  bool
 	}
 	states := make([]*zoneState, len(zones))
 	for i := range zones {
-		states[i] = &zoneState{alloc: alloc(), inUse: make(map[uint32]bool)}
+		states[i] = &zoneState{alloc: alloc()}
 	}
 	var res AdminFillResult
 	live := len(zones)
@@ -53,10 +74,10 @@ func FillAdminZones(zones []*topology.AdminZone, alloc func() allocator.Allocato
 			res.ZonesFull++
 			continue
 		}
-		if st.inUse[uint32(addr)] {
+		if st.inUse.has(uint32(addr)) {
 			res.Clashes++
 		}
-		st.inUse[uint32(addr)] = true
+		st.inUse.add(uint32(addr))
 		st.used = append(st.used, allocator.SessionInfo{Addr: addr, TTL: 255})
 		res.Allocations++
 	}

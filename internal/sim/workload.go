@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/stats"
@@ -156,16 +157,22 @@ func CommunitiesFromCountries(g *topology.Graph) ([]Community, error) {
 		return nil, err
 	}
 	// DS4 weights: {1×8, 15×6, 31×2, 47×2, 63×2, 127×1, 191×1} of 22.
-	localShare := map[mcast.TTL]float64{1: 8, 15: 6, 31: 2, 47: 2}
+	// The shares are an ordered slice, not a map: community order feeds
+	// stats.PickWeighted's cumulative walk, so iterating a map here would
+	// reshuffle which RNG draw lands on which community every run.
+	localShare := []struct {
+		ttl   mcast.TTL
+		share float64
+	}{{1, 8}, {15, 6}, {31, 2}, {47, 2}}
 	var out []Community
 	for _, z := range zones {
 		nodes := z.Members().Members()
-		for ttl, share := range localShare {
+		for _, ls := range localShare {
 			out = append(out, Community{
-				Name:   fmt.Sprintf("%s/ttl%d", z.Name, ttl),
+				Name:   fmt.Sprintf("%s/ttl%d", z.Name, ls.ttl),
 				Nodes:  nodes,
-				TTL:    ttl,
-				Weight: share * float64(len(nodes)),
+				TTL:    ls.ttl,
+				Weight: ls.share * float64(len(nodes)),
 			})
 		}
 	}
@@ -176,7 +183,15 @@ func CommunitiesFromCountries(g *topology.Graph) ([]Community, error) {
 		byContinent[c] = append(byContinent[c], topology.NodeID(i))
 		all = append(all, topology.NodeID(i))
 	}
-	for name, nodes := range byContinent {
+	// Sorted continent names for the same reason as localShare above:
+	// community order is part of the workload's deterministic identity.
+	names := make([]string, 0, len(byContinent))
+	for name := range byContinent {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nodes := byContinent[name]
 		out = append(out, Community{
 			Name:   name + "/ttl63",
 			Nodes:  nodes,

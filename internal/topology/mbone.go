@@ -83,6 +83,7 @@ func GenerateMbone(cfg MboneConfig, rng *stats.RNG) (*Graph, error) {
 
 	gateways := make(map[string]NodeID)     // country -> gateway backbone router
 	continents := make(map[string][]string) // continent -> countries in order
+	var continentOrder []string             // worldSpec (first-seen) order, for deterministic iteration
 	for _, c := range worldSpec {
 		target := int(float64(cfg.Nodes) * c.weight)
 		if target < 6 {
@@ -90,6 +91,9 @@ func GenerateMbone(cfg MboneConfig, rng *stats.RNG) (*Graph, error) {
 		}
 		gw := b.buildCountry(c, target)
 		gateways[c.name] = gw
+		if _, seen := continents[c.continent]; !seen {
+			continentOrder = append(continentOrder, c.continent)
+		}
 		continents[c.continent] = append(continents[c.continent], c.name)
 	}
 
@@ -111,7 +115,11 @@ func GenerateMbone(cfg MboneConfig, rng *stats.RNG) (*Graph, error) {
 	}
 
 	// Non-European countries within a continent: TTL-64 borders in a chain.
-	for _, countries := range continents {
+	// Iteration follows worldSpec order: ranging over the continents map
+	// here would interleave the builder's RNG draws (link delays) in a
+	// different order each run and change the generated topology.
+	for _, cname := range continentOrder {
+		countries := continents[cname]
 		var nonEU []string
 		for _, name := range countries {
 			if !specOf(name).euBorder {

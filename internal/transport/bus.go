@@ -74,30 +74,27 @@ func (e *BusEndpoint) Send(_ context.Context, data []byte, scope mcast.TTL) erro
 		return ErrClosed
 	}
 
+	// Snapshot the attached endpoints under the lock; run the Policy
+	// outside it. A Policy is caller-supplied code — invoking it with
+	// bus.mu held would deadlock the moment a policy touches the bus
+	// (attaching an endpoint, changing the policy).
 	e.bus.mu.Lock()
 	policy := e.bus.policy
-	recipients := make([]*BusEndpoint, 0, len(e.bus.endpoints))
+	candidates := make([]*BusEndpoint, 0, len(e.bus.endpoints))
 	for id, other := range e.bus.endpoints {
-		if id == e.id {
-			continue
+		if id != e.id {
+			candidates = append(candidates, other)
 		}
-		if policy != nil {
-			if deliver := policyAllows(policy, e.id, id, scope); !deliver {
-				continue
-			}
-		}
-		recipients = append(recipients, other)
 	}
 	e.bus.mu.Unlock()
 
-	for _, r := range recipients {
+	for _, r := range candidates {
+		if policy != nil && !policy(e.id, r.id, scope) {
+			continue
+		}
 		r.deliver(data)
 	}
 	return nil
-}
-
-func policyAllows(p Policy, from, to int, scope mcast.TTL) bool {
-	return p(from, to, scope)
 }
 
 func (e *BusEndpoint) deliver(data []byte) {

@@ -1,0 +1,18 @@
+package transport
+
+import "time"
+
+// Clock abstracts the wall clock so time-dependent transport components
+// (and their tests) can run on synthetic time. Production code uses
+// SystemClock; tests advance a fake by hand instead of sleeping. This is
+// also the seam that will let the transport package come under mclint's
+// detrand analyzer once nothing here reads time.Now directly.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock reads the real wall clock.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }

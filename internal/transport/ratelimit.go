@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
-	"time"
 
 	"sessiondir/internal/mcast"
 )
@@ -21,18 +20,18 @@ type RateLimited struct {
 	inner Transport
 	rate  float64 // bytes per second
 	burst float64 // bucket depth, bytes
-	now   func() time.Time
+	clk   Clock
 
-	mu      sync.Mutex
-	tokens  float64
-	last    time.Time
-	dropped uint64
+	mu        sync.Mutex
+	tokens    float64
+	lastNanos int64 // UnixNano of the last refill
+	dropped   uint64
 }
 
 // NewRateLimited wraps inner with a budget of rateBitsPerSec and a burst
 // allowance of burstBytes (0 = one second's worth). The clock is
-// injectable for tests (nil = time.Now).
-func NewRateLimited(inner Transport, rateBitsPerSec int, burstBytes int, clock func() time.Time) (*RateLimited, error) {
+// injectable for tests (nil = SystemClock).
+func NewRateLimited(inner Transport, rateBitsPerSec int, burstBytes int, clk Clock) (*RateLimited, error) {
 	if inner == nil {
 		return nil, fmt.Errorf("transport: RateLimited needs an inner transport")
 	}
@@ -44,16 +43,16 @@ func NewRateLimited(inner Transport, rateBitsPerSec int, burstBytes int, clock f
 	if burst <= 0 {
 		burst = rate
 	}
-	if clock == nil {
-		clock = time.Now
+	if clk == nil {
+		clk = SystemClock{}
 	}
 	return &RateLimited{
-		inner:  inner,
-		rate:   rate,
-		burst:  burst,
-		now:    clock,
-		tokens: burst,
-		last:   clock(),
+		inner:     inner,
+		rate:      rate,
+		burst:     burst,
+		clk:       clk,
+		tokens:    burst,
+		lastNanos: clk.Now().UnixNano(),
 	}, nil
 }
 
@@ -63,15 +62,19 @@ var _ Transport = (*RateLimited)(nil)
 // dropping the packet (returning nil: multicast is best-effort and the
 // announcement schedule retransmits).
 func (r *RateLimited) Send(ctx context.Context, data []byte, scope mcast.TTL) error {
+	// Read the clock before taking the lock (no calls inside the critical
+	// section). Concurrent senders may then observe refill times out of
+	// order; the elapsed > 0 guard makes a stale timestamp a no-op refill
+	// rather than a negative one.
+	nowNanos := r.clk.Now().UnixNano()
 	r.mu.Lock()
-	now := r.now()
-	elapsed := now.Sub(r.last).Seconds()
+	elapsed := float64(nowNanos-r.lastNanos) / 1e9
 	if elapsed > 0 {
 		r.tokens += elapsed * r.rate
 		if r.tokens > r.burst {
 			r.tokens = r.burst
 		}
-		r.last = now
+		r.lastNanos = nowNanos
 	}
 	need := float64(len(data))
 	if r.tokens < need {

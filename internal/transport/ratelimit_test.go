@@ -7,18 +7,20 @@ import (
 	"time"
 )
 
-type fakeNow struct {
+// fakeClock implements Clock on synthetic time, so the budget tests
+// advance time by hand instead of sleeping.
+type fakeClock struct {
 	mu sync.Mutex
 	t  time.Time
 }
 
-func (f *fakeNow) now() time.Time {
+func (f *fakeClock) Now() time.Time {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.t
 }
 
-func (f *fakeNow) advance(d time.Duration) {
+func (f *fakeClock) advance(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.t = f.t.Add(d)
@@ -40,9 +42,9 @@ func TestRateLimitedBudget(t *testing.T) {
 	received := 0
 	recvEp.Subscribe(func(Message) { received++ })
 
-	clk := &fakeNow{t: time.Unix(0, 0)}
+	clk := &fakeClock{t: time.Unix(0, 0)}
 	// 4000 bps = 500 B/s; burst = 500 B.
-	rl, err := NewRateLimited(bus.Endpoint(), 4000, 0, clk.now)
+	rl, err := NewRateLimited(bus.Endpoint(), 4000, 0, clk)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -160,7 +160,7 @@ func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) e
 		if err := t.conn.SetWriteDeadline(dl); err != nil {
 			return fmt.Errorf("transport: set deadline: %w", err)
 		}
-		defer t.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort reset
+		defer func() { _ = t.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
 	}
 	if t.group != nil {
 		if err := t.setTTL(int(scope)); err != nil {
