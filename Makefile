@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json bench bench-snapshot
+.PHONY: all build test race vet lint lint-json chaos bench bench-snapshot
 
 all: build vet lint test
 
@@ -28,6 +28,14 @@ lint:
 # Machine-readable diagnostics for tooling (JSON array on stdout).
 lint-json:
 	$(GO) run ./cmd/mclint -json
+
+# The fault-injection convergence gate: directory fleets under loss,
+# duplication, corruption, reordering, and partition/heal cycles must
+# converge, stay clash-free, and replay deterministically from their
+# seeds (DESIGN.md §10). Runs under the race detector; wall time is tiny
+# because the harness uses virtual time.
+chaos:
+	$(GO) test -race -count=1 -run TestChaos ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

@@ -1,0 +1,36 @@
+package sessiondir
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+
+	"sessiondir/internal/announce"
+)
+
+// SaveCacheFile persists the listened-session cache to path atomically
+// (temp file, fsync, rename): a crash mid-save — or a kill -9 between
+// periodic checkpoints — leaves the previous complete cache in place
+// rather than a torn file.
+func (d *Directory) SaveCacheFile(path string) error {
+	return announce.AtomicWriteFile(path, func(w io.Writer) error {
+		return d.SaveCache(w)
+	})
+}
+
+// LoadCacheFile merges a persisted cache from path. A missing file is a
+// normal cold start (0, nil); a corrupt or truncated file returns a
+// diagnosable error with whatever entries were salvageable already merged,
+// and the directory remains fully usable either way.
+func (d *Directory) LoadCacheFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = f.Close() }() // read-only handle; nothing to act on
+	return d.LoadCache(f)
+}

@@ -30,38 +30,48 @@ import (
 	"sessiondir/internal/transport"
 )
 
+// main stays a shell around run so that every deferred cleanup — above all
+// the final cache save — executes on the error paths too (log.Fatal inside
+// the work function would skip them all).
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
-		origin    = flag.String("origin", "127.0.0.1", "our IPv4 address, stamped on announcements")
-		group     = flag.String("group", transport.DefaultSAPGroup.String(), "SAP multicast group")
-		port      = flag.Uint("port", transport.DefaultSAPPort, "SAP UDP port")
-		peers     = flag.String("peers", "", "comma-separated unicast peers (disables multicast)")
-		listen    = flag.String("listen", "", "unicast listen address (with -peers)")
-		announce  = flag.String("announce", "", "announce a session with this name")
-		ttl       = flag.Uint("ttl", 127, "scope TTL for the announced session")
-		duration  = flag.Duration("for", 0, "exit after this long (0 = run until signal)")
-		cacheFile = flag.String("cache", "", "persist the session cache to this file across restarts")
-		budget    = flag.Int("budget", 0, "outbound bandwidth budget in bits/second (0 = unlimited; SAP convention is 4000)")
+		origin     = flag.String("origin", "127.0.0.1", "our IPv4 address, stamped on announcements")
+		group      = flag.String("group", transport.DefaultSAPGroup.String(), "SAP multicast group")
+		port       = flag.Uint("port", transport.DefaultSAPPort, "SAP UDP port")
+		peers      = flag.String("peers", "", "comma-separated unicast peers (disables multicast)")
+		listen     = flag.String("listen", "", "unicast listen address (with -peers)")
+		announce   = flag.String("announce", "", "announce a session with this name")
+		ttl        = flag.Uint("ttl", 127, "scope TTL for the announced session")
+		duration   = flag.Duration("for", 0, "exit after this long (0 = run until signal)")
+		cacheFile  = flag.String("cache", "", "persist the session cache to this file across restarts")
+		checkpoint = flag.Duration("checkpoint", time.Minute, "with -cache, also save the cache at this interval (0 = only on exit)")
+		budget     = flag.Int("budget", 0, "outbound bandwidth budget in bits/second (0 = unlimited; SAP convention is 4000)")
 	)
 	flag.Parse()
 
 	tr, err := openTransport(*group, uint16(*port), *peers, *listen)
 	if err != nil {
-		log.Fatalf("transport: %v", err)
+		return fmt.Errorf("transport: %w", err)
 	}
 	if *budget > 0 {
 		limited, err := transport.NewRateLimited(tr, *budget, 0, nil)
 		if err != nil {
-			log.Fatalf("budget: %v", err)
+			return fmt.Errorf("budget: %w", err)
 		}
 		tr = limited
 		log.Printf("outbound budget: %d bits/second", *budget)
 	}
-	defer tr.Close()
+	defer func() { _ = tr.Close() }() // exiting anyway; socket errors have nowhere to go
 
 	originAddr, err := netip.ParseAddr(*origin)
 	if err != nil {
-		log.Fatalf("bad -origin: %v", err)
+		return fmt.Errorf("bad -origin: %w", err)
 	}
 
 	dir, err := sessiondir.New(sessiondir.Config{
@@ -76,31 +86,23 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatalf("directory: %v", err)
+		return fmt.Errorf("directory: %w", err)
 	}
 	defer dir.Close()
 
 	if *cacheFile != "" {
-		if f, err := os.Open(*cacheFile); err == nil {
-			n, lerr := dir.LoadCache(f)
-			_ = f.Close() // read-only handle; nothing to act on
-
-			if lerr != nil {
-				log.Printf("cache load: %v", lerr)
-			} else {
-				log.Printf("loaded %d cached sessions from %s", n, *cacheFile)
-			}
+		// A corrupt or truncated cache is a cold start, not a fatal error:
+		// the announce-listen protocol rebuilds the picture from the network
+		// within an announcement interval anyway.
+		n, err := dir.LoadCacheFile(*cacheFile)
+		if err != nil {
+			log.Printf("cache load: %v (starting cold)", err)
+		}
+		if n > 0 {
+			log.Printf("loaded %d cached sessions from %s", n, *cacheFile)
 		}
 		defer func() {
-			f, err := os.Create(*cacheFile)
-			if err != nil {
-				log.Printf("cache save: %v", err)
-				return
-			}
-			if err := dir.SaveCache(f); err != nil {
-				log.Printf("cache save: %v", err)
-			}
-			if err := f.Close(); err != nil {
+			if err := dir.SaveCacheFile(*cacheFile); err != nil {
 				log.Printf("cache save: %v", err)
 			}
 		}()
@@ -117,7 +119,7 @@ func main() {
 			Stop:  time.Now().Add(4 * time.Hour),
 		})
 		if err != nil {
-			log.Fatalf("announce: %v", err)
+			return fmt.Errorf("announce: %w", err)
 		}
 		log.Printf("announcing %q on %s with TTL %d", desc.Name, desc.Group, desc.TTL)
 	}
@@ -128,6 +130,26 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
+	}
+
+	// Periodic checkpoints bound how much listened state an unclean exit
+	// (OOM kill, power loss) can cost; each save is atomic, so a kill in
+	// the middle of one leaves the previous checkpoint intact.
+	if *cacheFile != "" && *checkpoint > 0 {
+		go func() {
+			tick := time.NewTicker(*checkpoint)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := dir.SaveCacheFile(*cacheFile); err != nil {
+						log.Printf("cache checkpoint: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	// Periodically print the directory contents, like sdr's session list.
@@ -152,9 +174,10 @@ func main() {
 	}()
 
 	if err := dir.Run(ctx); err != nil && ctx.Err() == nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Println("sdrd exiting")
+	return nil
 }
 
 func openTransport(group string, port uint16, peers, listen string) (transport.Transport, error) {

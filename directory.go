@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sort"
 	"sync"
 	"time"
 
@@ -496,10 +497,19 @@ func (d *Directory) step(now time.Time) {
 	if d.closed {
 		return
 	}
-	for _, own := range d.owned {
+	// Announce due sessions in sorted key order, not map order: packet
+	// transmission order is observable (it drives receivers' clash timing
+	// and any fault-injecting transport's RNG draws), so it must be
+	// identical run to run for a chaos schedule to replay from its seed.
+	var due []string
+	for key, own := range d.owned {
 		if !own.nextAnnounce.After(now) {
-			_ = d.announceLocked(own, now) // transient send errors retry next interval
+			due = append(due, key)
 		}
+	}
+	sort.Strings(due)
+	for _, key := range due {
+		_ = d.announceLocked(d.owned[key], now) // transient send errors retry next interval
 	}
 	d.applyActionsLocked(d.tracker.Due(d.ms(now)), now)
 	for _, key := range d.cache.Expire(now) {
@@ -553,7 +563,12 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 	if err != nil {
 		return n, err
 	}
-	for _, e := range d.cache.Live() {
+	// Register in sorted key order: Live() iterates a map, and Observe
+	// can draw suppression delays from the RNG when loaded entries clash,
+	// so registration order must be reproducible.
+	live := d.cache.Live()
+	sort.Slice(live, func(i, j int) bool { return live[i].Desc.Key() < live[j].Desc.Key() })
+	for _, e := range live {
 		if idx, ok := d.space.Index(e.Desc.Group); ok {
 			d.tracker.Observe(clash.Observation{
 				Key:  clash.SessionKey(e.Desc.Key()),

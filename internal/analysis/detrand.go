@@ -32,6 +32,8 @@ var DetRand = &Analyzer{
 		"sessiondir/internal/par",
 		"sessiondir/internal/topology",
 		"sessiondir/internal/stats",
+		"sessiondir/internal/transport",
+		"sessiondir/internal/chaos",
 	},
 	Run: runDetRand,
 }

@@ -42,6 +42,7 @@ var MapOrder = &Analyzer{
 		"sessiondir/internal/par",
 		"sessiondir/internal/topology",
 		"sessiondir/internal/stats",
+		"sessiondir/internal/chaos",
 	},
 	Run: runMapOrder,
 }

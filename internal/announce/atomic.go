@@ -1,0 +1,53 @@
+package announce
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes a file crash-safely: the content goes to a
+// temporary file in the same directory, is fsynced, and only then renamed
+// over path. A crash at any point leaves either the old file or the new
+// one, never a torn mixture — which is what lets a daemon checkpoint its
+// session cache on a timer and still trust the file after a kill -9.
+//
+// write receives the temporary file; any error it returns aborts the
+// replacement and leaves path untouched.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("announce: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	replaced := false
+	defer func() {
+		if !replaced {
+			_ = tmp.Close()        // double close after the success path is a harmless no-op error
+			_ = os.Remove(tmpName) // best-effort: leftover temp files are cosmetic
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("announce: atomic write %s: sync: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("announce: atomic write %s: close: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("announce: atomic write %s: %w", path, err)
+	}
+	replaced = true
+	// Fsync the directory so the rename itself survives a power cut.
+	// Best-effort: some filesystems refuse directory syncs, and the data
+	// file is already durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()  // best-effort directory durability
+		_ = d.Close() // read-only handle
+	}
+	return nil
+}

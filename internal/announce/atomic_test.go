@@ -1,0 +1,81 @@
+package announce
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// assertNoTempLeftovers fails if an AtomicWriteFile temp file survived in
+// dir — both the success and the failure path must clean up.
+func assertNoTempLeftovers(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache")
+
+	for i, want := range []string{"first generation", "second generation"} {
+		err := AtomicWriteFile(path, func(w io.Writer) error {
+			_, werr := io.WriteString(w, want)
+			return werr
+		})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if got := readFile(t, path); got != want {
+			t.Fatalf("write %d: content %q, want %q", i, got, want)
+		}
+	}
+	assertNoTempLeftovers(t, dir)
+}
+
+func TestAtomicWriteFileFailureKeepsOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := fmt.Errorf("serialization exploded")
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, _ = io.WriteString(w, "partial garbage that must never land")
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the write callback's error", err)
+	}
+	if got := readFile(t, path); got != "precious" {
+		t.Fatalf("original clobbered: %q", got)
+	}
+	assertNoTempLeftovers(t, dir)
+}
+
+func TestAtomicWriteFileBadDirectory(t *testing.T) {
+	err := AtomicWriteFile(filepath.Join(t.TempDir(), "nope", "cache"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package clash
 
 import (
 	"fmt"
+	"sort"
 
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/stats"
@@ -235,7 +236,12 @@ func (t *Tracker) reactAsOwner(_ *cacheEntry, _ Observation) []Action { return n
 // reacts per the three phases. With ownedOnly set, only owner reactions
 // (phases 1–2) fire; third-party defenses are not (re-)scheduled.
 func (t *Tracker) checkClash(obs Observation, ownedOnly bool) []Action {
-	var actions []Action
+	// Filter in map order (the predicate is per-entry, so order cannot
+	// matter), then sort the clashing keys: reaction order is observable
+	// — it fixes both the returned action order and the RNG draw order of
+	// phase-3 suppression delays — and must not inherit Go's per-run map
+	// iteration order.
+	var clashing []SessionKey
 	for key, e := range t.cache {
 		if key == obs.Key || e.addr != obs.Addr {
 			continue
@@ -243,6 +249,13 @@ func (t *Tracker) checkClash(obs Observation, ownedOnly bool) []Action {
 		if ownedOnly && !e.owned {
 			continue
 		}
+		clashing = append(clashing, key)
+	}
+	sort.Slice(clashing, func(i, j int) bool { return clashing[i] < clashing[j] })
+
+	var actions []Action
+	for _, key := range clashing {
+		e := t.cache[key]
 		switch {
 		case e.owned && obs.At-e.ownFirstSent > t.cfg.RecentWindow:
 			// Phase 1: our long-standing session is being squatted — defend.

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"net/netip"
+	"sort"
 	"sync"
 
 	"sessiondir/internal/mcast"
@@ -18,6 +19,11 @@ type Bus struct {
 	endpoints map[int]*BusEndpoint
 	nextID    int
 	policy    Policy
+	// partition maps endpoint id → group index while a partition is
+	// active (nil = fully connected). The map is built complete before
+	// being published and never mutated afterwards, so snapshots taken
+	// under mu may be read lock-free.
+	partition map[int]int
 }
 
 // Policy decides per-packet delivery between two endpoints. Returning
@@ -35,6 +41,33 @@ func (b *Bus) SetPolicy(p Policy) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.policy = p
+}
+
+// Partition splits the fabric into isolated groups of endpoint IDs:
+// packets are delivered only between endpoints of the same group, and an
+// endpoint named in no group is cut off entirely. The partition composes
+// with any Policy (both must admit a packet) and applies to packets sent
+// after the call — chaos schedules script network splits with Partition
+// and repair them with Heal. Calling Partition again replaces the
+// previous layout.
+func (b *Bus) Partition(groups ...[]int) {
+	part := make(map[int]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			part[id] = gi
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partition = part
+}
+
+// Heal removes any active partition: the fabric is fully connected again
+// (subject to the Policy, which Heal does not touch).
+func (b *Bus) Heal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partition = nil
 }
 
 // Endpoint creates a new attached endpoint.
@@ -80,6 +113,7 @@ func (e *BusEndpoint) Send(_ context.Context, data []byte, scope mcast.TTL) erro
 	// (attaching an endpoint, changing the policy).
 	e.bus.mu.Lock()
 	policy := e.bus.policy
+	part := e.bus.partition
 	candidates := make([]*BusEndpoint, 0, len(e.bus.endpoints))
 	for id, other := range e.bus.endpoints {
 		if id != e.id {
@@ -88,7 +122,20 @@ func (e *BusEndpoint) Send(_ context.Context, data []byte, scope mcast.TTL) erro
 	}
 	e.bus.mu.Unlock()
 
+	// Deliver in ascending endpoint-ID order. The endpoints map iterates
+	// in a different order every run; with fault-injecting receivers each
+	// drawing from a seeded RNG on receipt, delivery order is part of the
+	// deterministic-replay contract, so it must not leak map order.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].id < candidates[j].id })
+
 	for _, r := range candidates {
+		if part != nil {
+			sg, okS := part[e.id]
+			rg, okR := part[r.id]
+			if !okS || !okR || sg != rg {
+				continue // severed by the active partition
+			}
+		}
 		if policy != nil && !policy(e.id, r.id, scope) {
 			continue
 		}

@@ -2,13 +2,16 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
 )
 
 // DefaultSAPGroup and DefaultSAPPort are the well-known SAP rendezvous
@@ -17,9 +20,25 @@ var DefaultSAPGroup = netip.MustParseAddr("224.2.127.254")
 
 const DefaultSAPPort = 9875
 
-// maxDatagram is the largest SAP datagram we accept; RFC 2974 recommends
-// keeping announcements under 1 kB but tolerates up to the UDP maximum.
+// maxDatagram is the largest SAP datagram we accept by default; RFC 2974
+// recommends keeping announcements under 1 kB but tolerates up to the UDP
+// maximum.
 const maxDatagram = 64 * 1024
+
+// minDatagram is the smallest datagram that can possibly carry a SAP
+// packet (the 4-byte fixed header). Anything shorter is junk the parser
+// cannot even classify, so the read loop quarantines it.
+const minDatagram = 4
+
+// Read-loop error back-off: start at readBackoffMin, double per
+// consecutive failure up to readBackoffMax, and spread retries with
+// ±readBackoffJitter so a fleet of daemons hitting the same kernel error
+// (interface down, buffer exhaustion) does not retry in lockstep.
+const (
+	readBackoffMin    = 10 * time.Millisecond
+	readBackoffMax    = 2 * time.Second
+	readBackoffJitter = 0.25
+)
 
 // UDPConfig parameterises a UDP transport.
 type UDPConfig struct {
@@ -37,6 +56,20 @@ type UDPConfig struct {
 	// ListenAddr is the local bind address for unicast mode ("" =
 	// 127.0.0.1 with an ephemeral port).
 	ListenAddr string
+	// MaxPacket caps the accepted datagram size (0 = 64 kB). Datagrams
+	// that arrive larger are quarantined: dropped and counted in
+	// Metrics().Oversized rather than handed truncated to the parser.
+	MaxPacket int
+}
+
+// UDPMetrics counts the read loop's quarantine and error decisions.
+// Oversized and runt datagrams are the transport-level malformed inputs;
+// undecodable SAP payloads are counted one layer up by the directory.
+type UDPMetrics struct {
+	Received   uint64 // datagrams accepted and handed to the handler layer
+	Oversized  uint64 // datagrams larger than MaxPacket, quarantined
+	Runts      uint64 // datagrams too short for a SAP header, quarantined
+	ReadErrors uint64 // socket read failures (each backed off before retry)
 }
 
 // UDPTransport sends and receives SAP datagrams over real sockets.
@@ -46,6 +79,12 @@ type UDPTransport struct {
 	peers  []netip.AddrPort
 	local  netip.AddrPort
 	setTTL func(int) error
+	maxPkt int
+
+	received   atomic.Uint64
+	oversized  atomic.Uint64
+	runts      atomic.Uint64
+	readErrors atomic.Uint64
 
 	mu      sync.Mutex
 	handler Handler
@@ -65,6 +104,13 @@ func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
 	return newMulticastUDP(cfg)
 }
 
+func maxPacket(cfg UDPConfig) int {
+	if cfg.MaxPacket > 0 {
+		return cfg.MaxPacket
+	}
+	return maxDatagram
+}
+
 func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
 	listen := cfg.ListenAddr
 	if listen == "" {
@@ -82,6 +128,7 @@ func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		conn:   conn,
 		peers:  append([]netip.AddrPort(nil), cfg.Peers...),
 		setTTL: func(int) error { return nil }, // TTL is advisory in unicast mode
+		maxPkt: maxPacket(cfg),
 		done:   make(chan struct{}),
 	}
 	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
@@ -107,9 +154,10 @@ func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		return nil, fmt.Errorf("transport: join %s: %w", gaddr, err)
 	}
 	t := &UDPTransport{
-		conn:  conn,
-		group: gaddr,
-		done:  make(chan struct{}),
+		conn:   conn,
+		group:  gaddr,
+		maxPkt: maxPacket(cfg),
+		done:   make(chan struct{}),
 	}
 	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
 	t.setTTL = func(ttl int) error {
@@ -120,7 +168,14 @@ func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 }
 
 func (t *UDPTransport) readLoop() {
-	buf := make([]byte, maxDatagram)
+	// One spare byte past the cap distinguishes "exactly MaxPacket" from
+	// "kernel truncated something larger".
+	buf := make([]byte, t.maxPkt+1)
+	// The jitter source is deterministic (seeded from the local port) per
+	// the detrand rule; jitter only needs to decorrelate daemons, and
+	// distinct sockets get distinct ports, hence distinct streams.
+	rng := stats.NewRNG(uint64(t.local.Port()) + 1)
+	backoff := time.Duration(0)
 	for {
 		n, addr, err := t.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -129,13 +184,27 @@ func (t *UDPTransport) readLoop() {
 				return
 			default:
 			}
-			// Transient errors: back off briefly and continue.
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
-			time.Sleep(10 * time.Millisecond)
+			// Persistent errors (interface loss, ENOBUFS storms) back off
+			// exponentially with jitter instead of spinning at a fixed
+			// 10 ms; any successful read resets the schedule.
+			t.readErrors.Add(1)
+			backoff = nextReadBackoff(backoff, rng)
+			time.Sleep(backoff)
 			continue
 		}
+		backoff = 0
+		switch {
+		case n > t.maxPkt:
+			t.oversized.Add(1)
+			continue
+		case n < minDatagram:
+			t.runts.Add(1)
+			continue
+		}
+		t.received.Add(1)
 		t.mu.Lock()
 		h := t.handler
 		t.mu.Unlock()
@@ -148,7 +217,39 @@ func (t *UDPTransport) readLoop() {
 	}
 }
 
-// Send implements Transport.
+// nextReadBackoff doubles cur (starting from readBackoffMin), applies
+// ±readBackoffJitter, and clamps to readBackoffMax.
+func nextReadBackoff(cur time.Duration, rng *stats.RNG) time.Duration {
+	next := cur * 2
+	if next < readBackoffMin {
+		next = readBackoffMin
+	}
+	if next > readBackoffMax {
+		next = readBackoffMax
+	}
+	jittered := time.Duration(float64(next) * (1 + readBackoffJitter*(2*rng.Float64()-1)))
+	if jittered > readBackoffMax {
+		jittered = readBackoffMax
+	}
+	if jittered < 0 {
+		jittered = readBackoffMin
+	}
+	return jittered
+}
+
+// Metrics returns a snapshot of the read loop's counters.
+func (t *UDPTransport) Metrics() UDPMetrics {
+	return UDPMetrics{
+		Received:   t.received.Load(),
+		Oversized:  t.oversized.Load(),
+		Runts:      t.runts.Load(),
+		ReadErrors: t.readErrors.Load(),
+	}
+}
+
+// Send implements Transport. In unicast mode a failure for one peer does
+// not stop the fan-out: every remaining peer is still attempted and the
+// per-peer errors are aggregated with errors.Join.
 func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) error {
 	t.mu.Lock()
 	closed := t.closed
@@ -171,14 +272,14 @@ func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) e
 		}
 		return nil
 	}
-	var firstErr error
+	var errs []error
 	for _, p := range t.peers {
 		ua := net.UDPAddrFromAddrPort(p)
-		if _, err := t.conn.WriteToUDP(data, ua); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("transport: send to %s: %w", p, err)
+		if _, err := t.conn.WriteToUDP(data, ua); err != nil {
+			errs = append(errs, fmt.Errorf("transport: send to %s: %w", p, err))
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // Subscribe implements Transport.

@@ -2,6 +2,7 @@ package sessiondir
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 	"time"
 
@@ -73,6 +74,54 @@ func TestDirectoryCachePersistence(t *testing.T) {
 		if s.Key() == desc.Key() {
 			t.Fatal("restored entry not expired after timeout")
 		}
+	}
+}
+
+// TestLoadCacheTruncatedFile: a cache cut off mid-entry (the classic
+// kill-during-save artifact that atomic persistence prevents, but which an
+// old file or a failing disk can still produce) must yield a diagnosable
+// error — and the directory must stay fully usable afterwards.
+func TestLoadCacheTruncatedFile(t *testing.T) {
+	bus := transport.NewBus()
+	clk := newFakeClock()
+	a, _ := newDirectory(t, bus, clk, "10.0.0.1", 64, 26, nil)
+	b, _ := newDirectory(t, bus, clk, "10.0.0.2", 64, 27, nil)
+	if _, err := a.CreateSession(testDesc("survivor", 127)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateSession(testDesc("casualty", 127)); err != nil {
+		t.Fatal(err)
+	}
+	var saved bytes.Buffer
+	if err := b.SaveCache(&saved); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	a.Close()
+
+	// Chop the file mid-way through the last entry's SDP payload.
+	whole := saved.Bytes()
+	truncated := whole[:len(whole)-10]
+
+	c, _ := newDirectory(t, bus, clk, "10.0.0.3", 64, 28, nil)
+	defer c.Close()
+	n, err := c.LoadCache(bytes.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated cache loaded without error")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error not diagnosable as truncation: %v", err)
+	}
+	// Entries before the tear are salvaged; the torn one is not.
+	if n != 1 {
+		t.Fatalf("salvaged %d entries, want 1", n)
+	}
+	// The directory is not poisoned: it can still allocate and announce.
+	if _, err := c.CreateSession(testDesc("after-the-tear", 127)); err != nil {
+		t.Fatalf("directory unusable after bad cache load: %v", err)
+	}
+	if len(c.Sessions()) != 2 {
+		t.Fatalf("sessions after recovery: %v", c.Sessions())
 	}
 }
 

@@ -1,0 +1,149 @@
+package sessiondir_test
+
+// End-to-end crash-safety tests of the sdrd daemon: a SIGKILLed daemon
+// must come back up with the sessions its periodic atomic checkpoints
+// captured, and a corrupt cache file must degrade to a cold start, never a
+// crash.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSdrd compiles the daemon once into the test's temp dir so the kill
+// test can signal the real process (with `go run`, signals hit the
+// toolchain wrapper, not sdrd).
+func buildSdrd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sdrd")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/sdrd").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSdrdKillRestartPersistence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the toolchain")
+	}
+	bin := buildSdrd(t)
+	ports := freePorts(t, 2)
+	addrA := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	addrB := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	cache := filepath.Join(t.TempDir(), "sd.cache")
+
+	// A announces a session; B caches it with fast periodic checkpoints.
+	announcer := exec.Command(bin,
+		"-origin", "127.0.0.1", "-listen", addrA, "-peers", addrB,
+		"-announce", "durable-session", "-ttl", "63", "-for", "60s")
+	if err := announcer.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = announcer.Process.Kill()
+		_ = announcer.Wait()
+	})
+
+	var listenerOut strings.Builder
+	listener := exec.Command(bin,
+		"-origin", "127.0.0.2", "-listen", addrB, "-peers", addrA,
+		"-cache", cache, "-checkpoint", "200ms", "-for", "60s")
+	listener.Stdout = &listenerOut
+	listener.Stderr = &listenerOut
+	if err := listener.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for a checkpoint that actually contains the learned session.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(cache); err == nil && strings.Contains(string(b), "durable-session") {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = listener.Process.Kill()
+			_ = listener.Wait()
+			t.Fatalf("cache never checkpointed the session; listener output:\n%s", listenerOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Unclean exit: SIGKILL skips every deferred save. Only the atomic
+	// checkpoints can have left a valid file.
+	if err := listener.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = listener.Wait() // exits with the kill signal; that is the point
+
+	// Restart on the same cache, with the announcer also gone, so the
+	// cache is the only possible source of the session.
+	_ = announcer.Process.Kill()
+	_ = announcer.Wait()
+
+	var out strings.Builder
+	restarted := exec.Command(bin,
+		"-origin", "127.0.0.2", "-listen", addrB, "-peers", addrA,
+		"-cache", cache, "-for", "12s")
+	restarted.Stdout = &out
+	restarted.Stderr = &out
+	if err := restarted.Run(); err != nil {
+		t.Fatalf("restarted sdrd failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "loaded 1 cached sessions") {
+		t.Fatalf("restart did not load the checkpointed cache:\n%s", out.String())
+	}
+	// The periodic session listing proves the restored entry is live in
+	// the directory, not just counted at load time.
+	if !strings.Contains(out.String(), "durable-session") {
+		t.Fatalf("restored session not in the directory listing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sdrd exiting") {
+		t.Fatalf("restarted daemon did not exit cleanly:\n%s", out.String())
+	}
+}
+
+func TestSdrdCorruptCacheColdStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the toolchain")
+	}
+	bin := buildSdrd(t)
+	ports := freePorts(t, 1)
+	cache := filepath.Join(t.TempDir(), "sd.cache")
+	// A truncated header torn mid-entry: Load must error, sdrd must log it
+	// and run cold rather than die.
+	if err := os.WriteFile(cache, []byte("sdcache v1\nentry 100 200 4096\nchopped"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	cmd := exec.Command(bin,
+		"-origin", "127.0.0.1",
+		"-listen", fmt.Sprintf("127.0.0.1:%d", ports[0]),
+		"-peers", "127.0.0.1:9",
+		"-cache", cache, "-for", "2s")
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("sdrd died on a corrupt cache: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cache load:") || !strings.Contains(out.String(), "starting cold") {
+		t.Fatalf("corrupt cache not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "sdrd exiting") {
+		t.Fatalf("daemon did not exit cleanly:\n%s", out.String())
+	}
+	// The clean exit rewrote the cache atomically; it must be valid now.
+	b, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "sdcache v1") || strings.Contains(string(b), "chopped") {
+		t.Fatalf("exit did not replace the corrupt cache: %q", b)
+	}
+}

@@ -159,9 +159,14 @@ func TestDirectoryMetricsMalformed(t *testing.T) {
 	}
 	defer b.Close()
 
-	// Fire garbage at B.
+	// Fire garbage at B: a runt (under the 4-byte SAP header minimum) is
+	// quarantined by the transport read loop and never reaches the
+	// directory; a full-size undecodable packet is counted one layer up.
 	ctx := context.Background()
 	if err := ta.Send(ctx, []byte{0xff, 0x00, 0x01}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Send(ctx, []byte{0xff, 0x00, 0x01, 0x02, 0x03}, 1); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -170,5 +175,8 @@ func TestDirectoryMetricsMalformed(t *testing.T) {
 	}
 	if got := b.Metrics().PacketsMalformed; got != 1 {
 		t.Fatalf("malformed counter = %d", got)
+	}
+	if got := tb.(*transport.UDPTransport).Metrics().Runts; got != 1 {
+		t.Fatalf("transport runt counter = %d", got)
 	}
 }
