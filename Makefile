@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json chaos bench bench-snapshot
+.PHONY: all build test race vet lint lint-json chaos adversary bench bench-snapshot
 
 all: build vet lint test
 
@@ -36,6 +36,14 @@ lint-json:
 # because the harness uses virtual time.
 chaos:
 	$(GO) test -race -count=1 -run TestChaos ./internal/chaos
+
+# The adversarial resilience gate: hostile agents (flooder, poisoner,
+# clash-forger, replayer, delete-forger) against a budget-bounded fleet.
+# Honest sessions must survive, no cache may exceed its budget, the fleet
+# must re-converge once the attack stops, and hostile runs must replay
+# field-identically from their seeds (DESIGN.md §11).
+adversary:
+	$(GO) test -race -count=1 -run TestAdversary ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

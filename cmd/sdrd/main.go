@@ -52,13 +52,19 @@ func run() error {
 		cacheFile  = flag.String("cache", "", "persist the session cache to this file across restarts")
 		checkpoint = flag.Duration("checkpoint", time.Minute, "with -cache, also save the cache at this interval (0 = only on exit)")
 		budget     = flag.Int("budget", 0, "outbound bandwidth budget in bits/second (0 = unlimited; SAP convention is 4000)")
+
+		maxSessions  = flag.Int("max-sessions", 0, "bound the listened-session cache; overload is shed drop-newest (0 = unlimited)")
+		maxPerOrigin = flag.Int("max-per-origin", 0, "bound cached sessions per announcing origin (0 = unlimited)")
+		originRate   = flag.Float64("origin-rate", 0, "per-origin packet budget in packets/second (0 = unlimited)")
+		originBurst  = flag.Float64("origin-burst", 0, "per-origin token-bucket depth in packets (0 = max(8, 4x rate))")
 	)
 	flag.Parse()
 
-	tr, err := openTransport(*group, uint16(*port), *peers, *listen)
+	udp, err := openTransport(*group, uint16(*port), *peers, *listen)
 	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
+	var tr transport.Transport = udp
 	if *budget > 0 {
 		limited, err := transport.NewRateLimited(tr, *budget, 0, nil)
 		if err != nil {
@@ -75,8 +81,12 @@ func run() error {
 	}
 
 	dir, err := sessiondir.New(sessiondir.Config{
-		Origin:    originAddr,
-		Transport: tr,
+		Origin:       originAddr,
+		Transport:    tr,
+		MaxSessions:  *maxSessions,
+		MaxPerOrigin: *maxPerOrigin,
+		OriginRate:   *originRate,
+		OriginBurst:  *originBurst,
 		OnEvent: func(e sessiondir.Event) {
 			if e.Desc != nil {
 				log.Printf("%s: %s (%s ttl=%d)", e.Kind, e.Desc.Name, e.Desc.Group, e.Desc.TTL)
@@ -152,6 +162,42 @@ func run() error {
 		}()
 	}
 
+	// SIGUSR1 (where the platform has it) dumps the full health picture on
+	// demand: directory metrics including the admission counters, the UDP
+	// quarantine counters, and — with -cache — an immediate checkpoint, so
+	// an operator diagnosing a suspected flood gets state without waiting
+	// for a ticker or restarting the daemon.
+	if sigs := dumpSignals(); len(sigs) > 0 {
+		dump := make(chan os.Signal, 1)
+		signal.Notify(dump, sigs...)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					signal.Stop(dump)
+					return
+				case <-dump:
+					m := dir.Metrics()
+					log.Printf("dump: sessions=%d cache=%d sent=%d recv=%d learned=%d expired=%d",
+						len(dir.Sessions()), dir.CacheSize(), m.AnnouncementsSent,
+						m.PacketsReceived, m.SessionsLearned, m.SessionsExpired)
+					log.Printf("dump: admission shed=%d quota-drops=%d evictions=%d forged-reports=%d forged-deletes=%d",
+						m.Shed, m.QuotaDrops, m.Evictions, m.ForgedReports, m.ForgedDeletes)
+					u := udp.Metrics()
+					log.Printf("dump: udp received=%d oversized=%d runts=%d read-errors=%d",
+						u.Received, u.Oversized, u.Runts, u.ReadErrors)
+					if *cacheFile != "" {
+						if err := dir.SaveCacheFile(*cacheFile); err != nil {
+							log.Printf("dump checkpoint: %v", err)
+						} else {
+							log.Printf("dump: checkpoint saved to %s", *cacheFile)
+						}
+					}
+				}
+			}
+		}()
+	}
+
 	// Periodically print the directory contents, like sdr's session list.
 	go func() {
 		tick := time.NewTicker(10 * time.Second)
@@ -163,9 +209,10 @@ func run() error {
 			case <-tick.C:
 				sessions := dir.Sessions()
 				m := dir.Metrics()
-				log.Printf("---- %d sessions known | sent=%d recv=%d learned=%d moves=%d defenses=%d/%d ----",
+				log.Printf("---- %d sessions known | sent=%d recv=%d learned=%d moves=%d defenses=%d/%d dropped=%d forged=%d ----",
 					len(sessions), m.AnnouncementsSent, m.PacketsReceived, m.SessionsLearned,
-					m.ClashAddressChanges, m.ClashDefensesOwn, m.ClashDefensesThird)
+					m.ClashAddressChanges, m.ClashDefensesOwn, m.ClashDefensesThird,
+					m.Shed+m.QuotaDrops, m.ForgedReports+m.ForgedDeletes)
 				for _, s := range sessions {
 					log.Printf("  %-30q %s ttl=%d from %s", s.Name, s.Group, s.TTL, s.Origin)
 				}
@@ -180,7 +227,7 @@ func run() error {
 	return nil
 }
 
-func openTransport(group string, port uint16, peers, listen string) (transport.Transport, error) {
+func openTransport(group string, port uint16, peers, listen string) (*transport.UDPTransport, error) {
 	if peers != "" {
 		var addrs []netip.AddrPort
 		for _, p := range strings.Split(peers, ",") {

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// dumpSignals: no SIGUSR1 outside unix; the dump feature is simply off.
+func dumpSignals() []os.Signal {
+	return nil
+}

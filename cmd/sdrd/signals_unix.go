@@ -1,0 +1,14 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// dumpSignals returns the signals that trigger an on-demand state dump.
+// SIGUSR1 is the conventional "report yourself" signal for daemons.
+func dumpSignals() []os.Signal {
+	return []os.Signal{syscall.SIGUSR1}
+}

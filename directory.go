@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sessiondir/internal/admission"
 	"sessiondir/internal/allocator"
 	"sessiondir/internal/announce"
 	"sessiondir/internal/clash"
@@ -37,6 +38,9 @@ const (
 	EventDefendedOther
 	// EventDeleteSent: we withdrew one of our sessions.
 	EventDeleteSent
+	// EventSessionEvicted: the admission layer displaced a cached session
+	// to stay inside the configured budget.
+	EventSessionEvicted
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +60,8 @@ func (k EventKind) String() string {
 		return "defended-other"
 	case EventDeleteSent:
 		return "delete-sent"
+	case EventSessionEvicted:
+		return "session-evicted"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -93,6 +99,26 @@ type Config struct {
 	Delay clash.DelayDist
 	// Clock supplies time (nil = time.Now). Injectable for tests.
 	Clock func() time.Time
+	// MaxSessions bounds the listened-session cache, tombstones included
+	// (0 = unlimited). When full, stale or deleted entries are evicted
+	// deterministically — never our own sessions — and if everything is
+	// fresh the newcomer is shed instead (drop-newest).
+	MaxSessions int
+	// MaxPerOrigin bounds cached sessions per announcing origin
+	// (0 = unlimited).
+	MaxPerOrigin int
+	// OriginRate is the per-origin token-bucket budget, in packets/second,
+	// charged for every announcement and deletion a peer makes us process
+	// (0 = unlimited).
+	OriginRate float64
+	// OriginBurst is the token-bucket depth in packets
+	// (0 = max(8, 4×OriginRate)).
+	OriginBurst float64
+	// StaleAfter marks a cached session evictable under budget pressure
+	// once unheard this long (0 = CacheTimeout/4). Keep it above the
+	// steady announcement interval or live sessions become flood-evictable
+	// between re-announcements.
+	StaleAfter time.Duration
 	// Seed drives the randomised choices (0 = arbitrary fixed seed).
 	Seed uint64
 	// OnEvent, if set, receives observability events synchronously; it
@@ -117,6 +143,7 @@ type Directory struct {
 	rng     *stats.RNG
 	owned   map[string]*ownedSession
 	cache   *announce.Cache
+	admit   *admission.Controller
 	tracker *clash.Tracker
 	epoch   time.Time
 	nextID  uint64
@@ -140,6 +167,14 @@ type Metrics struct {
 	ClashAddressChanges uint64 // phase-2 moves of our own sessions
 	ClashDefensesOwn    uint64 // phase-1 re-announcements
 	ClashDefensesThird  uint64 // phase-3 defenses of others' sessions
+
+	// Admission-control counters (zero unless the budgets in Config are set,
+	// except the validation counters, which are always live).
+	Shed          uint64 // new sessions dropped because the cache was full of fresh state
+	QuotaDrops    uint64 // packets dropped by per-origin rate limit or session quota
+	ForgedReports uint64 // announcements failing clash-report validation, dropped
+	ForgedDeletes uint64 // deletions whose origin did not match the cached announcement
+	Evictions     uint64 // cached sessions displaced to stay inside the budget
 }
 
 type outMsg struct {
@@ -215,6 +250,21 @@ func New(cfg Config) (*Directory, error) {
 		cache: announce.NewCache(cfg.CacheTimeout),
 		epoch: cfg.Clock(),
 	}
+	staleAfter := cfg.StaleAfter
+	if staleAfter <= 0 {
+		staleAfter = d.cache.Timeout / 4
+	}
+	d.admit = admission.New(admission.Config{
+		MaxSessions:  cfg.MaxSessions,
+		MaxPerOrigin: cfg.MaxPerOrigin,
+		OriginRate:   cfg.OriginRate,
+		OriginBurst:  cfg.OriginBurst,
+		StaleAfter:   staleAfter,
+		// An independent stream derived from the seed, not split from d.rng:
+		// enabling admission must not shift the allocator's or the clash
+		// tracker's draw sequences.
+		RNG: stats.NewRNG(seed ^ 0xad3155_0bad),
+	})
 	d.tracker = clash.NewTracker(clash.TrackerConfig{
 		RecentWindow: float64(cfg.RecentWindow.Milliseconds()),
 		Delay:        cfg.Delay,
@@ -419,14 +469,29 @@ func (d *Directory) handlePacket(m transport.Message) {
 	now := d.cfg.Clock()
 	key := desc.Key()
 
-	if pkt.Type == sap.Delete {
-		// Only the originator may delete (we have no auth, so check the
-		// SAP origin matches the session origin).
-		if pkt.Origin == desc.Origin {
-			d.cache.Delete(key, now)
-			d.tracker.Forget(clash.SessionKey(key))
-		}
+	// Per-origin rate limiting covers everything a peer can make us
+	// process. Dropped packets trigger no reactions at all, so they cannot
+	// be amplified into defense storms either.
+	if !d.admit.Allow(pkt.Origin, now) {
+		d.metrics.QuotaDrops++
 		return
+	}
+
+	if pkt.Type == sap.Delete {
+		d.handleDeleteLocked(&pkt, desc, key, now)
+		return
+	}
+
+	if !d.validateAnnounceLocked(&pkt, desc, key) {
+		d.metrics.ForgedReports++
+		return
+	}
+	if _, known := d.cache.Peek(key); !known && d.owned[key] == nil {
+		// A previously unknown session must pass the budget gate before it
+		// may occupy cache (and clash-tracker) state.
+		if !d.admitNewLocked(desc, now) {
+			return
+		}
 	}
 
 	if _, fresh := d.cache.Observe(desc, now); fresh {
@@ -442,6 +507,124 @@ func (d *Directory) handlePacket(m transport.Message) {
 		})
 		d.applyActionsLocked(actions, now)
 	}
+}
+
+// handleDeleteLocked validates and applies a SAP deletion. We have no
+// authentication (out of scope, as for the paper's sdr), but a deletion
+// must at least be self-consistent and must name a cached announcement
+// whose recorded origin matches — that kills blind deletion spoofing,
+// where an attacker withdraws a victim's session without having been able
+// to observe and fully forge its announcement.
+func (d *Directory) handleDeleteLocked(pkt *sap.Packet, desc *session.Description, key string, now time.Time) {
+	if d.owned[key] != nil {
+		// We never withdraw our own sessions via the network; any deletion
+		// naming one of ours is forged.
+		d.metrics.ForgedDeletes++
+		return
+	}
+	e, ok := d.cache.Peek(key)
+	if !ok {
+		return // unknown session: nothing to delete
+	}
+	if pkt.Origin != desc.Origin || pkt.Origin != e.Desc.Origin {
+		d.metrics.ForgedDeletes++
+		return
+	}
+	d.cache.Delete(key, now)
+	d.tracker.Forget(clash.SessionKey(key))
+}
+
+// validateAnnounceLocked is the clash-report validation of the admission
+// layer: an announcement (which is also how clashes are reported in the
+// announce–listen model) must be self-consistent and must agree with what
+// the local cache already knows before it may mutate soft state or
+// trigger clash reactions. Returns false to drop the packet.
+func (d *Directory) validateAnnounceLocked(pkt *sap.Packet, desc *session.Description, key string) bool {
+	// The SAP header origin must match the session's claimed origin: a
+	// mismatch is a forgery (third-party defenses re-announce the defended
+	// session with ITS origin in both places, so they pass).
+	if pkt.Origin != desc.Origin {
+		return false
+	}
+	// Scope plausibility: a TTL-0 session could not have reached us.
+	if desc.TTL == 0 {
+		return false
+	}
+	if own, ok := d.owned[key]; ok {
+		// A report about one of our own sessions must match what we are
+		// actually announcing: anything else is a forged echo trying to
+		// poison our own tracker state.
+		return desc.Version == own.desc.Version &&
+			desc.Group == own.desc.Group && desc.TTL == own.desc.TTL
+	}
+	e, ok := d.cache.Peek(key)
+	if !ok {
+		return true // new session: nothing to agree with yet
+	}
+	if desc.Version < e.Desc.Version {
+		// Replayed stale state. The cache already ignored old versions;
+		// rejecting here keeps them out of the clash tracker too, so a
+		// replayer cannot re-trigger resolved clashes.
+		return false
+	}
+	if desc.Version == e.Desc.Version {
+		if e.Deleted {
+			return false // a deleted version cannot be resurrected verbatim
+		}
+		// Same version, same content: an honest announcer bumps the
+		// version on every change, so a same-version report naming a
+		// different address or scope is a forged clash report.
+		if desc.Group != e.Desc.Group || desc.TTL != e.Desc.TTL || desc.Name != e.Desc.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// admitNewLocked runs the budget gate for a previously unknown session,
+// applying any planned evictions. Returns false if the newcomer was shed
+// or denied.
+func (d *Directory) admitNewLocked(desc *session.Description, now time.Time) bool {
+	if d.cfg.MaxSessions <= 0 && d.cfg.MaxPerOrigin <= 0 {
+		return true
+	}
+	dec := d.admit.PlanNew(d.candidatesLocked(), desc.Origin, now)
+	for _, k := range dec.Evict {
+		d.cache.Remove(k)
+		d.tracker.Forget(clash.SessionKey(k))
+		d.metrics.Evictions++
+		d.emit(Event{Kind: EventSessionEvicted, Key: k})
+	}
+	switch dec.Outcome {
+	case admission.Shed:
+		d.metrics.Shed++
+		return false
+	case admission.DenyQuota:
+		d.metrics.QuotaDrops++
+		return false
+	}
+	return true
+}
+
+// candidatesLocked builds the admission view of the cache. Own sessions
+// are excluded: they are never eviction candidates. Order is irrelevant —
+// the planner imposes a total deterministic order of its own.
+func (d *Directory) candidatesLocked() []admission.Candidate {
+	all := d.cache.All()
+	cands := make([]admission.Candidate, 0, len(all))
+	for _, e := range all {
+		if e.Desc.Origin == d.cfg.Origin || d.owned[e.Desc.Key()] != nil {
+			continue
+		}
+		cands = append(cands, admission.Candidate{
+			Key:       e.Desc.Key(),
+			Origin:    e.Desc.Origin,
+			TTL:       e.Desc.TTL,
+			LastHeard: e.LastHeard,
+			Deleted:   e.Deleted,
+		})
+	}
+	return cands
 }
 
 // applyActionsLocked executes clash protocol reactions.
@@ -563,6 +746,17 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 	if err != nil {
 		return n, err
 	}
+	// Budget enforcement before tracker registration: a checkpoint larger
+	// than MaxSessions (saved under a bigger budget, or adversarially
+	// grown) must trim deterministically, not over-admit — and evicted
+	// entries must never reach the clash tracker.
+	if d.cfg.MaxSessions > 0 || d.cfg.MaxPerOrigin > 0 {
+		for _, k := range d.admit.TrimPlan(d.candidatesLocked()) {
+			d.cache.Remove(k)
+			d.metrics.Evictions++
+			d.emit(Event{Kind: EventSessionEvicted, Key: k})
+		}
+	}
 	// Register in sorted key order: Live() iterates a map, and Observe
 	// can draw suppression delays from the RNG when loaded entries clash,
 	// so registration order must be reproducible.
@@ -592,4 +786,14 @@ func (d *Directory) Metrics() Metrics {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.metrics
+}
+
+// CacheSize returns the listened-session cache's total occupancy,
+// deletion tombstones included — the quantity Config.MaxSessions bounds.
+// Own sessions live outside this budget; they are locally created, never
+// attacker-supplied.
+func (d *Directory) CacheSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache.Size()
 }

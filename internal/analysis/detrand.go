@@ -34,6 +34,7 @@ var DetRand = &Analyzer{
 		"sessiondir/internal/stats",
 		"sessiondir/internal/transport",
 		"sessiondir/internal/chaos",
+		"sessiondir/internal/admission",
 	},
 	Run: runDetRand,
 }

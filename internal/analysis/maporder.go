@@ -43,6 +43,7 @@ var MapOrder = &Analyzer{
 		"sessiondir/internal/topology",
 		"sessiondir/internal/stats",
 		"sessiondir/internal/chaos",
+		"sessiondir/internal/admission",
 	},
 	Run: runMapOrder,
 }

@@ -172,6 +172,28 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	return e, true
 }
 
+// Peek returns the entry for key whether or not it is deleted — the
+// admission layer validates incoming packets against tombstones too
+// (a deleted session must not be resurrected by a replayed announcement
+// of the same version).
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Remove hard-deletes an entry (admission-layer eviction). Unlike Delete
+// it leaves no tombstone: the budget counts tombstones as occupancy, so
+// eviction must actually release the slot.
+func (c *Cache) Remove(key string) {
+	delete(c.entries, key)
+}
+
+// Size returns the total number of entries, including deletion
+// tombstones — the memory footprint the session budget bounds.
+func (c *Cache) Size() int {
+	return len(c.entries)
+}
+
 // Len returns the number of live entries.
 func (c *Cache) Len() int {
 	n := 0
@@ -198,6 +220,16 @@ func (c *Cache) Expire(now time.Time) []string {
 		}
 	}
 	return evicted
+}
+
+// All returns every entry including deletion tombstones (iteration order
+// unspecified); the admission layer builds eviction candidates from it.
+func (c *Cache) All() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	return out
 }
 
 // Live returns all live entries (iteration order unspecified).

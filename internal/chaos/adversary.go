@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/sap"
+	"sessiondir/internal/session"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/transport"
+)
+
+// AdversaryKind selects a hostile behaviour. Adversaries speak raw SAP on
+// the bus — they are not directories, so nothing constrains them to the
+// protocol's good manners. Each kind models one attack the admission
+// layer (or the clash protocol itself) must absorb.
+type AdversaryKind int
+
+const (
+	// Flooder announces an endless stream of brand-new, internally
+	// consistent sessions, optionally rotating source origins — the
+	// cache-exhaustion attack the session budget and per-origin quota
+	// exist for.
+	Flooder AdversaryKind = iota
+	// Poisoner tries to mutate cached honest sessions in place: it
+	// replays a heard announcement with the victim's origin but a
+	// different address and no version bump, and also sends copies whose
+	// SAP header origin disagrees with the SDP payload.
+	Poisoner
+	// ClashForger creates its own sessions deliberately at addresses it
+	// has heard honest agents announce, forcing the clash protocol to
+	// arbitrate against a hostile claimant.
+	ClashForger
+	// Replayer records honest wire packets verbatim and retransmits them
+	// later — stale versions must be rejected, current versions must be
+	// harmless refreshes, and neither may re-trigger clash correction.
+	Replayer
+	// DeleteForger sends SAP deletions naming heard honest sessions from
+	// its own origin — the deletion-spoofing attack.
+	DeleteForger
+)
+
+// String implements fmt.Stringer.
+func (k AdversaryKind) String() string {
+	switch k {
+	case Flooder:
+		return "flooder"
+	case Poisoner:
+		return "poisoner"
+	case ClashForger:
+		return "clash-forger"
+	case Replayer:
+		return "replayer"
+	case DeleteForger:
+		return "delete-forger"
+	default:
+		return "adversary-?"
+	}
+}
+
+// AdversaryConfig parameterises one hostile agent.
+type AdversaryConfig struct {
+	Kind AdversaryKind
+	// Origin is the adversary's base source address
+	// (zero = 192.0.2.200+index, outside the honest fleet's 10.0.0.0/8).
+	Origin netip.Addr
+	// Rate is packets sent per tick while active (0 = 8).
+	Rate int
+	// Origins rotates a Flooder across this many source addresses,
+	// modelling a spoofing flooder that sidesteps per-origin defences
+	// (0 = 1: all packets from Origin).
+	Origins int
+	// Start and Stop bound the active window in elapsed virtual time
+	// (Stop 0 = active until the run ends).
+	Start, Stop time.Duration
+	// TTL is the announced scope of forged sessions (0 = 127).
+	TTL mcast.TTL
+}
+
+// maxRecorded bounds how much honest traffic an adversary remembers;
+// adversaries must not be a memory leak in long schedules either.
+const maxRecorded = 512
+
+// Adversary is one hostile agent on the bus. It records the honest
+// traffic it overhears (adversaries eavesdrop; the bus is multicast) and
+// spends its per-tick packet budget according to its kind. All of its
+// random choices come from an RNG split off the harness root, so hostile
+// schedules replay bit-identically like everything else.
+type Adversary struct {
+	Index int
+
+	cfg   AdversaryConfig
+	ep    *transport.BusEndpoint
+	rng   *stats.RNG
+	space mcast.AddrSpace
+
+	sent   uint64
+	nextID uint64
+
+	// Overheard honest traffic: raw wire bytes for the replayer, decoded
+	// announcements for the poisoner/clash-forger/delete-forger.
+	wire  [][]byte
+	descs []*session.Description
+}
+
+// Sent reports how many packets the adversary has transmitted.
+func (a *Adversary) Sent() uint64 { return a.sent }
+
+// Heard reports how many honest announcements the adversary recorded.
+func (a *Adversary) Heard() int { return len(a.descs) }
+
+// AddAdversary attaches a hostile agent to the fabric. Adversaries join
+// the same Bus as the fleet, overhear everything, and are stepped each
+// tick after scheduled events and before transports and directories, in
+// the order they were added.
+func (h *Harness) AddAdversary(cfg AdversaryConfig) *Adversary {
+	idx := len(h.advs)
+	if !cfg.Origin.IsValid() {
+		cfg.Origin = netip.AddrFrom4([4]byte{192, 0, 2, byte(200 + idx)})
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 8
+	}
+	if cfg.Origins <= 0 {
+		cfg.Origins = 1
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = 127
+	}
+	a := &Adversary{
+		Index: idx,
+		cfg:   cfg,
+		ep:    h.bus.Endpoint(),
+		rng:   h.root.Split(),
+		space: h.space,
+	}
+	a.ep.Subscribe(a.record)
+	h.advs = append(h.advs, a)
+	return a
+}
+
+// record stores overheard announcements, bounded. It keeps whatever is
+// internally consistent — an adversary cannot tell honest traffic from
+// another adversary's well-formed forgeries, and doesn't care.
+func (a *Adversary) record(m transport.Message) {
+	if len(a.wire) >= maxRecorded {
+		return
+	}
+	var p sap.Packet
+	if err := p.DecodeMaybeCompressed(m.Data); err != nil || p.Type != sap.Announce {
+		return
+	}
+	desc, err := session.ParseSDP(p.Payload)
+	if err != nil || desc.Origin != p.Origin {
+		return
+	}
+	a.wire = append(a.wire, append([]byte(nil), m.Data...))
+	a.descs = append(a.descs, desc)
+}
+
+// active reports whether the adversary sends during this tick.
+func (a *Adversary) active(elapsed time.Duration) bool {
+	if elapsed <= a.cfg.Start {
+		return false
+	}
+	return a.cfg.Stop == 0 || elapsed <= a.cfg.Stop
+}
+
+// step spends one tick's packet budget.
+func (a *Adversary) step(elapsed time.Duration) {
+	if !a.active(elapsed) {
+		return
+	}
+	for i := 0; i < a.cfg.Rate; i++ {
+		switch a.cfg.Kind {
+		case Flooder:
+			a.flood()
+		case Poisoner:
+			a.poison()
+		case ClashForger:
+			a.forgeClash()
+		case Replayer:
+			a.replay()
+		case DeleteForger:
+			a.forgeDelete()
+		}
+	}
+}
+
+// origin returns the source address for the next packet, rotating across
+// the configured spoof range.
+func (a *Adversary) origin() netip.Addr {
+	if a.cfg.Origins == 1 {
+		return a.cfg.Origin
+	}
+	base := a.cfg.Origin.As4()
+	k := a.rng.IntN(a.cfg.Origins)
+	base[2] += byte(k >> 8)
+	base[3] += byte(k)
+	return netip.AddrFrom4(base)
+}
+
+// send marshals and transmits; marshal failures on forged content are
+// silently dropped (an adversary has no error budget to report to).
+func (a *Adversary) send(typ sap.MessageType, origin netip.Addr, desc *session.Description) {
+	payload, err := desc.MarshalSDP()
+	if err != nil {
+		return
+	}
+	pkt := sap.Packet{
+		Type:      typ,
+		MsgIDHash: sap.MsgIDHashOf(payload),
+		Origin:    origin,
+		Payload:   payload,
+	}
+	wireBytes, err := pkt.Marshal(nil)
+	if err != nil {
+		return
+	}
+	if a.ep.Send(nil, wireBytes, desc.TTL) == nil {
+		a.sent++
+	}
+}
+
+// flood announces a fresh, internally consistent session at a random
+// address. Every packet survives validation; only budgets stop it.
+func (a *Adversary) flood() {
+	org := a.origin()
+	a.nextID++
+	a.send(sap.Announce, org, &session.Description{
+		ID:      a.nextID,
+		Version: 1,
+		Origin:  org,
+		Name:    fmt.Sprintf("flood-%d-%d", a.Index, a.nextID),
+		Group:   a.space.Group(mcast.Addr(a.rng.IntN(int(a.space.Size)))),
+		TTL:     a.cfg.TTL,
+		Media:   []session.Media{{Type: "audio", Port: 5004, Proto: "RTP/AVP", Format: "0"}},
+	})
+}
+
+// poison attacks a recorded session's cached state: even packets carry a
+// mismatched SAP header origin, odd packets spoof the victim's origin on
+// a same-version announcement moved to a different address (a forged
+// clash report).
+func (a *Adversary) poison() {
+	if len(a.descs) == 0 {
+		return
+	}
+	victim := a.descs[a.rng.IntN(len(a.descs))]
+	if a.sent%2 == 0 {
+		a.send(sap.Announce, a.cfg.Origin, victim)
+		return
+	}
+	moved := *victim
+	idx, _ := a.space.Index(victim.Group)
+	moved.Group = a.space.Group(mcast.Addr((uint32(idx) + 1 + uint32(a.rng.IntN(int(a.space.Size)-1))) % a.space.Size))
+	a.send(sap.Announce, victim.Origin, &moved)
+}
+
+// forgeClash announces the adversary's own session at an address a
+// recorded honest session already holds, making the clash protocol
+// arbitrate between an honest claimant and a hostile one.
+func (a *Adversary) forgeClash() {
+	if len(a.descs) == 0 {
+		return
+	}
+	victim := a.descs[a.rng.IntN(len(a.descs))]
+	a.nextID++
+	a.send(sap.Announce, a.cfg.Origin, &session.Description{
+		ID:      a.nextID,
+		Version: 1,
+		Origin:  a.cfg.Origin,
+		Name:    fmt.Sprintf("squat-%d-%d", a.Index, a.nextID),
+		Group:   victim.Group,
+		TTL:     a.cfg.TTL,
+		Media:   []session.Media{{Type: "audio", Port: 5004, Proto: "RTP/AVP", Format: "0"}},
+	})
+}
+
+// replay retransmits a recorded wire packet byte-for-byte.
+func (a *Adversary) replay() {
+	if len(a.wire) == 0 {
+		return
+	}
+	pkt := a.wire[a.rng.IntN(len(a.wire))]
+	if a.ep.Send(nil, pkt, a.cfg.TTL) == nil {
+		a.sent++
+	}
+}
+
+// forgeDelete sends a deletion naming a recorded honest session. The SAP
+// header carries the adversary's own origin: without authentication that
+// is the only lie the receiver can actually catch, and it must.
+func (a *Adversary) forgeDelete() {
+	if len(a.descs) == 0 {
+		return
+	}
+	victim := a.descs[a.rng.IntN(len(a.descs))]
+	a.send(sap.Delete, a.cfg.Origin, victim)
+}

@@ -52,6 +52,15 @@ type Config struct {
 	// CacheTimeout expires unheard sessions (0 = the directory default of
 	// one hour; set it near the schedule length to test eviction).
 	CacheTimeout time.Duration
+
+	// Admission budgets, passed through to every agent's directory (zero
+	// values disable each mechanism, matching sessiondir.Config). Hostile
+	// schedules set these to assert the fleet survives within them.
+	MaxSessions  int
+	MaxPerOrigin int
+	OriginRate   float64
+	OriginBurst  float64
+	StaleAfter   time.Duration
 }
 
 // Agent is one directory instance and its fault-injecting transport.
@@ -83,6 +92,11 @@ type Harness struct {
 	clk    *transport.ManualClock
 	bus    *transport.Bus
 	agents []*Agent
+	// root is retained after construction so adversaries added later draw
+	// from the same seeded RNG tree as the fleet.
+	root  *stats.RNG
+	space mcast.AddrSpace
+	advs  []*Adversary
 }
 
 // New builds the fleet: one Bus, one ManualClock, and per agent a
@@ -109,11 +123,13 @@ func New(cfg Config) (*Harness, error) {
 	}
 
 	h := &Harness{
-		cfg: cfg,
-		clk: transport.NewManualClock(cfg.Start),
-		bus: transport.NewBus(),
+		cfg:   cfg,
+		clk:   transport.NewManualClock(cfg.Start),
+		bus:   transport.NewBus(),
+		root:  stats.NewRNG(cfg.Seed),
+		space: mcast.SyntheticSpace(cfg.SpaceSize),
 	}
-	root := stats.NewRNG(cfg.Seed)
+	root := h.root
 	for i := 0; i < cfg.Agents; i++ {
 		ep := h.bus.Endpoint()
 		ft, err := transport.NewFault(ep, transport.FaultConfig{
@@ -135,6 +151,11 @@ func New(cfg Config) (*Harness, error) {
 			Delay:        clash.NewExponentialDelay(0, 3200, 200),
 			Clock:        h.clk.Now,
 			Seed:         dirSeed,
+			MaxSessions:  cfg.MaxSessions,
+			MaxPerOrigin: cfg.MaxPerOrigin,
+			OriginRate:   cfg.OriginRate,
+			OriginBurst:  cfg.OriginBurst,
+			StaleAfter:   cfg.StaleAfter,
 		})
 		if err != nil {
 			return nil, err
@@ -227,9 +248,10 @@ func (h *Harness) Kill(i int) {
 }
 
 // Run executes the schedule over the given virtual duration. Each tick:
-// due events fire, then every live agent's delay queue is stepped, then
-// every live directory's timers run. Agents are always visited in index
-// order — iteration order is part of the determinism contract.
+// due events fire, then adversaries spend their packet budgets (in the
+// order they were added), then every live agent's delay queue is stepped,
+// then every live directory's timers run. Agents are always visited in
+// index order — iteration order is part of the determinism contract.
 func (h *Harness) Run(events []Event, duration time.Duration) {
 	evs := append([]Event(nil), events...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
@@ -240,6 +262,9 @@ func (h *Harness) Run(events []Event, duration time.Duration) {
 			ev := evs[0]
 			evs = evs[1:]
 			ev.Do(h)
+		}
+		for _, adv := range h.advs {
+			adv.step(elapsed)
 		}
 		for _, a := range h.agents {
 			if a.alive {
