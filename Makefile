@@ -20,7 +20,8 @@ vet:
 	$(GO) vet ./...
 
 # The determinism & concurrency gate: runs mclint's analyzers (detrand,
-# maporder, lockscope, errdrop) over the module. Nonzero exit on any
+# maporder, lockscope, errdrop, metricname) over the module. Nonzero
+# exit on any
 # finding; see DESIGN.md §9 for the rules and the waiver syntax.
 lint:
 	$(GO) run ./cmd/mclint

@@ -13,7 +13,16 @@
 // -workers sets the experiment engine's concurrency (0 = GOMAXPROCS,
 // 1 = serial); output is bit-identical at any worker count. -json appends
 // a machine-readable benchmark record — wall time per experiment plus
-// allocation micro-benchmarks — for tracking perf across commits.
+// allocation micro-benchmarks and a registry snapshot from a seeded fleet
+// scenario — for tracking perf across commits.
+//
+// -compare turns mcbench into a regression gate:
+//
+//	mcbench -compare old.json new.json -tolerance 25% -fail-ratio 2
+//
+// It prints GitHub-annotation warnings for metrics past the tolerance and
+// exits nonzero only for regressions past the fail ratio, so noisy CI
+// machines inform without blocking and real cliffs still stop the merge.
 package main
 
 import (
@@ -21,17 +30,24 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"sessiondir"
 	"sessiondir/internal/allocator"
 	"sessiondir/internal/experiments"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
+	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
+	"sessiondir/internal/transport"
 )
 
 // benchReport is the schema written by -json.
@@ -43,6 +59,10 @@ type benchReport struct {
 	GoVersion  string             `json:"go_version"`
 	Figures    []figureTiming     `json:"figures"`
 	Micro      []microBenchResult `json:"micro"`
+	// Registry is the merged metrics snapshot of a small seeded fleet
+	// (same schema the daemon serves at /metrics), so perf numbers and
+	// protocol/occupancy counters live in one record.
+	Registry []obs.MetricValue `json:"registry,omitempty"`
 }
 
 type figureTiming struct {
@@ -100,6 +120,219 @@ func microBenches() []microBenchResult {
 	return out
 }
 
+// registrySnapshot runs a small deterministic fleet — four directories on
+// an in-process bus under a virtual clock, seeds fixed — and returns their
+// merged registry sample. Counters sum across agents; the run is
+// replayable, so two mcbench invocations on the same tree produce the
+// same snapshot.
+func registrySnapshot() ([]obs.MetricValue, error) {
+	bus := transport.NewBus()
+	now := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	const agents = 4
+	var dirs []*sessiondir.Directory
+	for i := 0; i < agents; i++ {
+		d, err := sessiondir.New(sessiondir.Config{
+			Origin:    netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)}),
+			Transport: bus.Endpoint(),
+			Space:     mcast.SyntheticSpace(64),
+			Seed:      uint64(i + 1),
+			Clock:     clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, d)
+	}
+	for round := 0; round < 30; round++ {
+		if round < 8 {
+			for i, d := range dirs {
+				_, err := d.CreateSession(&session.Description{
+					Name:  fmt.Sprintf("bench-%d-%d", i, round),
+					TTL:   127,
+					Media: []session.Media{{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"}},
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		now = now.Add(5 * time.Second)
+		for _, d := range dirs {
+			d.Step(now)
+		}
+	}
+	merged := make(map[string]obs.MetricValue)
+	for _, d := range dirs {
+		for _, mv := range d.Registry().Snapshot() {
+			if cur, ok := merged[mv.Name]; ok {
+				cur.Value += mv.Value
+				merged[mv.Name] = cur
+			} else {
+				merged[mv.Name] = mv
+			}
+		}
+		d.Close()
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]obs.MetricValue, 0, len(names))
+	for _, n := range names {
+		out = append(out, merged[n])
+	}
+	return out, nil
+}
+
+// compareOpts parameterise the regression gate.
+type compareOpts struct {
+	// tolerancePct is the informational threshold: a metric this many
+	// percent slower than the baseline gets a warning annotation.
+	tolerancePct float64
+	// failRatio is the hard gate: new/old above this fails the run.
+	failRatio float64
+}
+
+// parseCompareArgs accepts the post-flag arguments of a -compare run:
+// two report files in either position, plus optional trailing
+// "-tolerance 25%" and "-fail-ratio 2" pairs (the stdlib flag package
+// stops at the first positional, so these are parsed by hand).
+func parseCompareArgs(args []string) (oldPath, newPath string, opts compareOpts, err error) {
+	opts = compareOpts{tolerancePct: 25, failRatio: 2}
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch strings.TrimLeft(args[i], "-") {
+		case "tolerance":
+			if i+1 >= len(args) {
+				return "", "", opts, fmt.Errorf("-tolerance needs a value")
+			}
+			i++
+			v, perr := strconv.ParseFloat(strings.TrimSuffix(args[i], "%"), 64)
+			if perr != nil || v < 0 {
+				return "", "", opts, fmt.Errorf("bad -tolerance %q", args[i])
+			}
+			opts.tolerancePct = v
+		case "fail-ratio":
+			if i+1 >= len(args) {
+				return "", "", opts, fmt.Errorf("-fail-ratio needs a value")
+			}
+			i++
+			v, perr := strconv.ParseFloat(args[i], 64)
+			if perr != nil || v <= 1 {
+				return "", "", opts, fmt.Errorf("bad -fail-ratio %q (must be > 1)", args[i])
+			}
+			opts.failRatio = v
+		default:
+			files = append(files, args[i])
+		}
+	}
+	if len(files) != 2 {
+		return "", "", opts, fmt.Errorf("-compare needs exactly two report files, got %d", len(files))
+	}
+	return files[0], files[1], opts, nil
+}
+
+// compareReports checks every timing metric present in both reports.
+// Returned warnings are informational (past tolerance); failures are past
+// the fail ratio. Metrics only present on one side are ignored — adding
+// or retiring a benchmark must not fail the gate.
+func compareReports(oldR, newR benchReport, opts compareOpts) (warnings, failures []string) {
+	type metric struct {
+		name       string
+		oldV, newV float64
+	}
+	var metrics []metric
+	oldFig := make(map[string]float64, len(oldR.Figures))
+	for _, f := range oldR.Figures {
+		oldFig[f.ID] = f.WallMs
+	}
+	for _, f := range newR.Figures {
+		if old, ok := oldFig[f.ID]; ok {
+			metrics = append(metrics, metric{"figure " + f.ID + " wall_ms", old, f.WallMs})
+		}
+	}
+	oldMicro := make(map[string]microBenchResult, len(oldR.Micro))
+	for _, m := range oldR.Micro {
+		oldMicro[m.Name] = m
+	}
+	for _, m := range newR.Micro {
+		old, ok := oldMicro[m.Name]
+		if !ok {
+			continue
+		}
+		metrics = append(metrics, metric{"micro " + m.Name + " ns_per_op", old.NsPerOp, m.NsPerOp})
+		if m.AllocsOp > old.AllocsOp {
+			warnings = append(warnings, fmt.Sprintf("micro %s allocs_per_op grew %d -> %d",
+				m.Name, old.AllocsOp, m.AllocsOp))
+		}
+	}
+	for _, m := range metrics {
+		if m.oldV <= 0 {
+			continue // nothing meaningful to ratio against
+		}
+		ratio := m.newV / m.oldV
+		line := fmt.Sprintf("%s: %.2f -> %.2f (%.2fx)", m.name, m.oldV, m.newV, ratio)
+		switch {
+		case ratio > opts.failRatio:
+			failures = append(failures, line)
+		case ratio > 1+opts.tolerancePct/100:
+			warnings = append(warnings, line)
+		}
+	}
+	return warnings, failures
+}
+
+func readReport(path string) (benchReport, error) {
+	var r benchReport
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// runCompare is the -compare entry point; the returned code is the
+// process exit status (0 ok, 1 hard regression, 2 usage/read error).
+func runCompare(args []string) int {
+	oldPath, newPath, opts, err := parseCompareArgs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	warnings, failures := compareReports(oldR, newR, opts)
+	fmt.Printf("compare %s -> %s: tolerance %.0f%%, fail ratio %.2gx\n",
+		oldPath, newPath, opts.tolerancePct, opts.failRatio)
+	for _, w := range warnings {
+		// GitHub Actions renders ::warning:: as a PR annotation; locally it
+		// is just a greppable prefix.
+		fmt.Printf("::warning title=bench regression::%s\n", w)
+	}
+	for _, f := range failures {
+		fmt.Printf("::error title=bench regression::%s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("FAIL: %d metric(s) regressed past %.2gx\n", len(failures), opts.failRatio)
+		return 1
+	}
+	fmt.Printf("ok: %d warning(s), no hard regressions\n", len(warnings))
+	return 0
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
@@ -108,8 +341,13 @@ func main() {
 		outDir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		workers  = flag.Int("workers", 0, "engine concurrency: 0 = GOMAXPROCS, 1 = serial (output identical either way)")
 		jsonPath = flag.String("json", "", "write a machine-readable benchmark record (wall times + allocation micro-benches) to this file")
+		compare  = flag.Bool("compare", false, "compare two benchmark records: mcbench -compare old.json new.json [-tolerance 25%] [-fail-ratio 2]")
 	)
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args()))
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -192,6 +430,12 @@ func main() {
 		for _, m := range report.Micro {
 			fmt.Printf("%-24s %12.0f ns/op %6d B/op %4d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
 		}
+		snap, err := registrySnapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "registry snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		report.Registry = snap
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

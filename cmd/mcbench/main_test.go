@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineReport() benchReport {
+	return benchReport{
+		Figures: []figureTiming{{ID: "fig5", WallMs: 1000}, {ID: "fig12", WallMs: 400}},
+		Micro: []microBenchResult{
+			{Name: "AllocateAdaptive", NsPerOp: 2000, AllocsOp: 0, BytesOp: 0},
+			{Name: "AllocateHybrid", NsPerOp: 3000, AllocsOp: 0, BytesOp: 0},
+		},
+	}
+}
+
+func TestCompareReportsWithinTolerance(t *testing.T) {
+	oldR := baselineReport()
+	newR := baselineReport()
+	newR.Figures[0].WallMs = 1100 // +10%: inside the 25% band
+	warnings, failures := compareReports(oldR, newR, compareOpts{tolerancePct: 25, failRatio: 2})
+	if len(warnings) != 0 || len(failures) != 0 {
+		t.Fatalf("clean run flagged: warnings=%v failures=%v", warnings, failures)
+	}
+}
+
+func TestCompareReportsWarnsPastTolerance(t *testing.T) {
+	oldR := baselineReport()
+	newR := baselineReport()
+	newR.Micro[0].NsPerOp = 3100 // +55%: warn, don't fail
+	warnings, failures := compareReports(oldR, newR, compareOpts{tolerancePct: 25, failRatio: 2})
+	if len(failures) != 0 {
+		t.Fatalf("soft regression hard-failed: %v", failures)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warnings)
+	}
+}
+
+func TestCompareReportsFailsPastRatio(t *testing.T) {
+	oldR := baselineReport()
+	newR := baselineReport()
+	newR.Figures[1].WallMs = 1000 // 2.5x: hard fail
+	_, failures := compareReports(oldR, newR, compareOpts{tolerancePct: 25, failRatio: 2})
+	if len(failures) != 1 {
+		t.Fatalf("2.5x slowdown not failed: %v", failures)
+	}
+}
+
+func TestCompareReportsWarnsOnAllocGrowth(t *testing.T) {
+	oldR := baselineReport()
+	newR := baselineReport()
+	newR.Micro[1].AllocsOp = 3
+	warnings, failures := compareReports(oldR, newR, compareOpts{tolerancePct: 25, failRatio: 2})
+	if len(failures) != 0 {
+		t.Fatalf("alloc growth hard-failed: %v", failures)
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("warnings = %v, want the allocs_per_op growth", warnings)
+	}
+}
+
+func TestCompareReportsIgnoresUnmatchedMetrics(t *testing.T) {
+	oldR := baselineReport()
+	newR := baselineReport()
+	newR.Figures = append(newR.Figures, figureTiming{ID: "fig99", WallMs: 1e9})
+	oldR.Micro = append(oldR.Micro, microBenchResult{Name: "Retired", NsPerOp: 1})
+	warnings, failures := compareReports(oldR, newR, compareOpts{tolerancePct: 25, failRatio: 2})
+	if len(warnings) != 0 || len(failures) != 0 {
+		t.Fatalf("unmatched metrics flagged: warnings=%v failures=%v", warnings, failures)
+	}
+}
+
+func TestParseCompareArgs(t *testing.T) {
+	oldP, newP, opts, err := parseCompareArgs([]string{"old.json", "new.json", "-tolerance", "30%", "-fail-ratio", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldP != "old.json" || newP != "new.json" {
+		t.Fatalf("files = %q, %q", oldP, newP)
+	}
+	if opts.tolerancePct != 30 || opts.failRatio != 3 {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if _, _, _, err := parseCompareArgs([]string{"only-one.json"}); err == nil {
+		t.Fatal("single file accepted")
+	}
+	if _, _, _, err := parseCompareArgs([]string{"a", "b", "-fail-ratio", "0.5"}); err == nil {
+		t.Fatal("fail ratio <= 1 accepted")
+	}
+}
+
+// TestRunCompareInjected2xSlowdown is the CI acceptance fixture: a report
+// whose figure timing doubled-and-a-bit must make runCompare exit nonzero.
+func TestRunCompareInjected2xSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(`{"figures":[{"id":"fig5","wall_ms":1000}],"micro":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`{"figures":[{"id":"fig5","wall_ms":2100}],"micro":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare([]string{oldPath, newPath, "-tolerance", "25%"}); code == 0 {
+		t.Fatal("2.1x slowdown passed the gate")
+	}
+	// And the same pair passes with the ratio raised above the slowdown.
+	if code := runCompare([]string{oldPath, newPath, "-fail-ratio", "3"}); code != 0 {
+		t.Fatalf("gate failed below the fail ratio: exit %d", code)
+	}
+}

@@ -7,6 +7,7 @@
 //	maporder   no order-sensitive range-over-map in deterministic packages
 //	lockscope  no function calls while a sync mutex is held
 //	errdrop    no silently discarded errors on the network paths
+//	metricname obs registry metric names are snake_case and unique
 //
 // Findings print as file:line:col: analyzer: message and make the exit
 // status nonzero, so `make lint` gates CI. A finding can be waived at

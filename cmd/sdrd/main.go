@@ -14,9 +14,14 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -26,9 +31,14 @@ import (
 
 	"sessiondir"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
 	"sessiondir/internal/session"
 	"sessiondir/internal/transport"
 )
+
+// traceCapacity is the debug event ring's depth: enough to hold minutes
+// of steady-state protocol activity while bounding memory.
+const traceCapacity = 4096
 
 // main stays a shell around run so that every deferred cleanup — above all
 // the final cache save — executes on the error paths too (log.Fatal inside
@@ -57,10 +67,14 @@ func run() error {
 		maxPerOrigin = flag.Int("max-per-origin", 0, "bound cached sessions per announcing origin (0 = unlimited)")
 		originRate   = flag.Float64("origin-rate", 0, "per-origin packet budget in packets/second (0 = unlimited)")
 		originBurst  = flag.Float64("origin-burst", 0, "per-origin token-bucket depth in packets (0 = max(8, 4x rate))")
+
+		seed      = flag.Uint64("seed", 0, "RNG seed for allocation and clash timing (0 = derive from -origin and PID so identically configured daemons diverge)")
+		httpDebug = flag.String("http-debug", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
-	udp, err := openTransport(*group, uint16(*port), *peers, *listen)
+	reg := obs.NewRegistry()
+	udp, err := openTransport(*group, uint16(*port), *peers, *listen, reg)
 	if err != nil {
 		return fmt.Errorf("transport: %w", err)
 	}
@@ -80,6 +94,16 @@ func run() error {
 		return fmt.Errorf("bad -origin: %w", err)
 	}
 
+	seedVal := *seed
+	if seedVal == 0 {
+		seedVal = deriveSeed(*origin, os.Getpid())
+		log.Printf("seed: %#x (derived from origin+pid; pin with -seed to replay)", seedVal)
+	}
+	var trace *obs.Trace
+	if *httpDebug != "" {
+		trace = obs.NewTrace(traceCapacity)
+	}
+
 	dir, err := sessiondir.New(sessiondir.Config{
 		Origin:       originAddr,
 		Transport:    tr,
@@ -87,6 +111,9 @@ func run() error {
 		MaxPerOrigin: *maxPerOrigin,
 		OriginRate:   *originRate,
 		OriginBurst:  *originBurst,
+		Seed:         seedVal,
+		Obs:          reg,
+		Trace:        trace,
 		OnEvent: func(e sessiondir.Event) {
 			if e.Desc != nil {
 				log.Printf("%s: %s (%s ttl=%d)", e.Kind, e.Desc.Name, e.Desc.Group, e.Desc.TTL)
@@ -99,6 +126,14 @@ func run() error {
 		return fmt.Errorf("directory: %w", err)
 	}
 	defer dir.Close()
+
+	if *httpDebug != "" {
+		stopDebug, err := startDebugServer(*httpDebug, reg, trace)
+		if err != nil {
+			return err
+		}
+		defer stopDebug()
+	}
 
 	if *cacheFile != "" {
 		// A corrupt or truncated cache is a cold start, not a fatal error:
@@ -227,7 +262,7 @@ func run() error {
 	return nil
 }
 
-func openTransport(group string, port uint16, peers, listen string) (*transport.UDPTransport, error) {
+func openTransport(group string, port uint16, peers, listen string, reg *obs.Registry) (*transport.UDPTransport, error) {
 	if peers != "" {
 		var addrs []netip.AddrPort
 		for _, p := range strings.Split(peers, ",") {
@@ -237,7 +272,7 @@ func openTransport(group string, port uint16, peers, listen string) (*transport.
 			}
 			addrs = append(addrs, ap)
 		}
-		tr, err := transport.NewUDP(transport.UDPConfig{Peers: addrs, ListenAddr: listen})
+		tr, err := transport.NewUDP(transport.UDPConfig{Peers: addrs, ListenAddr: listen, Obs: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -248,10 +283,66 @@ func openTransport(group string, port uint16, peers, listen string) (*transport.
 	if err != nil {
 		return nil, fmt.Errorf("bad group %q: %w", group, err)
 	}
-	tr, err := transport.NewUDP(transport.UDPConfig{Group: g, Port: port})
+	tr, err := transport.NewUDP(transport.UDPConfig{Group: g, Port: port, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
 	log.Printf("joined %s:%d", g, port)
 	return tr, nil
+}
+
+// deriveSeed gives each daemon its own RNG stream by default. Two daemons
+// started with identical flags used to share the fixed fallback seed, so
+// a symmetric clash (both announce the same address across a healed
+// partition) made both sides draw the same next address and mirror-move
+// indefinitely. Hashing origin and PID makes colocated and peer daemons
+// diverge without operator action; -seed pins the stream for replayable
+// runs.
+func deriveSeed(origin string, pid int) uint64 {
+	h := fnv.New64a()
+	_, _ = fmt.Fprintf(h, "%s|%d", origin, pid)
+	s := h.Sum64()
+	if s == 0 {
+		return 1 // zero means "use the built-in default", which is exactly the shared stream we are avoiding
+	}
+	return s
+}
+
+// startDebugServer serves the observability surface on addr: Prometheus
+// text at /metrics, the protocol event ring at /trace, expvar at
+// /debug/vars and the pprof family under /debug/pprof/. It is opt-in via
+// -http-debug and binds before returning, so a bad address fails startup
+// instead of logging from a goroutine after the daemon looks healthy.
+func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace) (shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("http-debug: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			log.Printf("http-debug: metrics write: %v", err) // scraper hung up mid-response
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := trace.WriteText(w); err != nil {
+			log.Printf("http-debug: trace write: %v", err)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("http-debug: %v", err)
+		}
+	}()
+	log.Printf("http-debug listening on http://%s/metrics", ln.Addr())
+	return func() { _ = srv.Close() }, nil
 }

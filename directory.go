@@ -14,6 +14,7 @@ import (
 	"sessiondir/internal/announce"
 	"sessiondir/internal/clash"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
 	"sessiondir/internal/sap"
 	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
@@ -124,6 +125,17 @@ type Config struct {
 	// OnEvent, if set, receives observability events synchronously; it
 	// must not call back into the Directory.
 	OnEvent func(Event)
+	// Obs, when non-nil, is the registry the directory registers its
+	// instruments on (nil = a private registry, reachable via Registry()).
+	// One directory per registry: a second directory on the same registry
+	// fails New with a duplicate-name error.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives one structured event per protocol
+	// decision (allocate, announce, clash move, defense, learn, expire,
+	// evict, shed, delete), stamped with the directory's virtual-time
+	// milliseconds. Recording is lock-free and draws no randomness, so
+	// tracing a seeded chaos run does not perturb its schedule.
+	Trace *obs.Trace
 }
 
 type ownedSession struct {
@@ -137,7 +149,7 @@ type ownedSession struct {
 type Directory struct {
 	cfg   Config
 	space mcast.AddrSpace
-	alloc allocator.Allocator
+	alloc *allocator.Instrumented
 
 	mu      sync.Mutex
 	rng     *stats.RNG
@@ -153,7 +165,9 @@ type Directory struct {
 	// in-process Bus) cannot re-enter and deadlock.
 	outbox []outMsg
 
-	metrics Metrics
+	reg   *obs.Registry
+	trace *obs.Trace
+	ins   dirInstruments
 }
 
 // Metrics are the directory's operational counters, as exposed by sdrd.
@@ -180,6 +194,106 @@ type Metrics struct {
 type outMsg struct {
 	data []byte
 	ttl  mcast.TTL
+}
+
+// dirInstruments holds the directory's registry-backed counters. The
+// legacy Metrics struct is now a snapshot view over these; every hot-path
+// update is a single atomic add.
+type dirInstruments struct {
+	announcementsSent *obs.Counter
+	deletionsSent     *obs.Counter
+	packetsReceived   *obs.Counter
+	packetsMalformed  *obs.Counter
+	sessionsLearned   *obs.Counter
+	sessionsExpired   *obs.Counter
+	clashMoves        *obs.Counter
+	clashDefensesOwn  *obs.Counter
+	clashDefensesThrd *obs.Counter
+	shed              *obs.Counter
+	quotaDrops        *obs.Counter
+	forgedReports     *obs.Counter
+	forgedDeletes     *obs.Counter
+	evictions         *obs.Counter
+	packetBytes       *obs.Histogram
+}
+
+// packetSizeBounds buckets received datagram sizes: SAP announcements
+// cluster under 1 kB (RFC 2974's recommendation), so the low buckets are
+// dense and the tail covers the UDP maximum.
+var packetSizeBounds = []int64{64, 128, 256, 512, 1024, 4096, 16384, 65536}
+
+func newDirInstruments(r *obs.Registry) (dirInstruments, error) {
+	var ins dirInstruments
+	counters := []struct {
+		dst        **obs.Counter
+		name, help string
+	}{
+		{&ins.announcementsSent, "dir_announcements_sent_total", "SAP announcements transmitted (own + defended)"},
+		{&ins.deletionsSent, "dir_deletions_sent_total", "SAP deletions transmitted"},
+		{&ins.packetsReceived, "dir_packets_received_total", "well-formed SAP packets processed"},
+		{&ins.packetsMalformed, "dir_packets_malformed_total", "undecodable packets or payloads dropped"},
+		{&ins.sessionsLearned, "dir_sessions_learned_total", "distinct sessions (or new versions) cached"},
+		{&ins.sessionsExpired, "dir_sessions_expired_total", "cached sessions that timed out"},
+		{&ins.clashMoves, "dir_clash_moves_total", "phase-2 address moves of our own sessions"},
+		{&ins.clashDefensesOwn, "dir_clash_defenses_own_total", "phase-1 re-announcements defending our own sessions"},
+		{&ins.clashDefensesThrd, "dir_clash_defenses_third_total", "phase-3 defenses of other sites' sessions"},
+		{&ins.shed, "dir_admission_shed_total", "new sessions dropped because the cache was full of fresh state"},
+		{&ins.quotaDrops, "dir_admission_quota_drops_total", "packets dropped by per-origin rate limit or session quota"},
+		{&ins.forgedReports, "dir_admission_forged_reports_total", "announcements failing clash-report validation, dropped"},
+		{&ins.forgedDeletes, "dir_admission_forged_deletes_total", "deletions whose origin did not match the cached announcement"},
+		{&ins.evictions, "dir_admission_evictions_total", "cached sessions displaced to stay inside the budget"},
+	}
+	for _, c := range counters {
+		m, err := r.Counter(c.name, c.help)
+		if err != nil {
+			return ins, err
+		}
+		*c.dst = m
+	}
+	h, err := r.Histogram("dir_packet_size_bytes", "received datagram sizes, pre-decode", packetSizeBounds)
+	if err != nil {
+		return ins, err
+	}
+	ins.packetBytes = h
+	return ins, nil
+}
+
+// registerGauges exposes the directory's population state as registry
+// views. Each callback takes d.mu, so scrapes must never run under it —
+// the registry is only read from scrape paths (HTTP, bench snapshots),
+// never from inside the directory.
+func (d *Directory) registerGauges() error {
+	gauges := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"dir_owned_sessions", "sessions this directory announces", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(len(d.owned))
+		}},
+		{"dir_cache_sessions", "listened-session cache occupancy, tombstones included", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.cache.Size())
+		}},
+		{"dir_admission_origins", "origins tracked by the per-origin rate limiter", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.admit.Stats().Origins)
+		}},
+	}
+	for _, g := range gauges {
+		if err := d.reg.GaugeFunc(g.name, g.help, g.fn); err != nil {
+			return err
+		}
+	}
+	return d.reg.CounterFunc("dir_admission_bucket_gcs_total",
+		"rate-limiter bucket-table reclaims under origin churn", func() uint64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return d.admit.Stats().BucketGCs
+		})
 }
 
 // flush transmits queued packets outside the lock. Reactions triggered at
@@ -241,14 +355,29 @@ func New(cfg Config) (*Directory, error) {
 	if seed == 0 {
 		seed = 0x5d0_1998
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	alloc, err := allocator.Instrument(cfg.Allocator, reg)
+	if err != nil {
+		return nil, fmt.Errorf("sessiondir: %w", err)
+	}
+	ins, err := newDirInstruments(reg)
+	if err != nil {
+		return nil, fmt.Errorf("sessiondir: %w", err)
+	}
 	d := &Directory{
 		cfg:   cfg,
 		space: cfg.Space,
-		alloc: cfg.Allocator,
+		alloc: alloc,
 		rng:   stats.NewRNG(seed),
 		owned: make(map[string]*ownedSession),
 		cache: announce.NewCache(cfg.CacheTimeout),
 		epoch: cfg.Clock(),
+		reg:   reg,
+		trace: cfg.Trace,
+		ins:   ins,
 	}
 	staleAfter := cfg.StaleAfter
 	if staleAfter <= 0 {
@@ -269,9 +398,16 @@ func New(cfg Config) (*Directory, error) {
 		RecentWindow: float64(cfg.RecentWindow.Milliseconds()),
 		Delay:        cfg.Delay,
 	}, d.rng.Split())
+	if err := d.registerGauges(); err != nil {
+		return nil, fmt.Errorf("sessiondir: %w", err)
+	}
 	cfg.Transport.Subscribe(d.onPacket)
 	return d, nil
 }
+
+// Registry returns the directory's metrics registry — the one from
+// Config.Obs, or the private registry created when none was supplied.
+func (d *Directory) Registry() *obs.Registry { return d.reg }
 
 // ms converts a wall time to the tracker's millisecond timeline.
 func (d *Directory) ms(t time.Time) float64 {
@@ -321,6 +457,7 @@ func (d *Directory) createSession(desc *session.Description) (*session.Descripti
 	own := &ownedSession{desc: &c}
 	d.owned[c.Key()] = own
 	d.tracker.AnnounceOwn(clash.SessionKey(c.Key()), addr, c.TTL, d.ms(now))
+	d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceAllocate, Key: c.Key(), Addr: uint32(addr)})
 	if err := d.announceLocked(own, now); err != nil {
 		delete(d.owned, c.Key())
 		return nil, err
@@ -359,7 +496,10 @@ func (d *Directory) announceLocked(own *ownedSession, now time.Time) error {
 	}
 	own.nextAnnounce = now.Add(b.IntervalAfter(own.announceCount))
 	own.announceCount++
-	d.metrics.AnnouncementsSent++
+	d.ins.announcementsSent.Inc()
+	if idx, ok := d.space.Index(own.desc.Group); ok {
+		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceAnnounce, Key: own.desc.Key(), Addr: uint32(idx)})
+	}
 	d.emit(Event{Kind: EventAnnounceSent, Key: own.desc.Key(), Desc: own.desc})
 	return nil
 }
@@ -405,7 +545,8 @@ func (d *Directory) withdrawSession(key string) error {
 	if err := d.sendDescLocked(own.desc, sap.Delete); err != nil {
 		return err
 	}
-	d.metrics.DeletionsSent++
+	d.ins.deletionsSent.Inc()
+	d.trace.Record(obs.TraceEvent{At: d.ms(d.cfg.Clock()), Kind: obs.TraceDelete, Key: key})
 	d.emit(Event{Kind: EventDeleteSent, Key: key, Desc: own.desc})
 	return nil
 }
@@ -446,6 +587,7 @@ func (d *Directory) onPacket(m transport.Message) {
 }
 
 func (d *Directory) handlePacket(m transport.Message) {
+	d.ins.packetBytes.Observe(int64(len(m.Data)))
 	var pkt sap.Packet
 	if err := pkt.DecodeMaybeCompressed(m.Data); err != nil {
 		d.bumpMalformed()
@@ -465,7 +607,7 @@ func (d *Directory) handlePacket(m transport.Message) {
 	if d.closed {
 		return
 	}
-	d.metrics.PacketsReceived++
+	d.ins.packetsReceived.Inc()
 	now := d.cfg.Clock()
 	key := desc.Key()
 
@@ -473,7 +615,7 @@ func (d *Directory) handlePacket(m transport.Message) {
 	// process. Dropped packets trigger no reactions at all, so they cannot
 	// be amplified into defense storms either.
 	if !d.admit.Allow(pkt.Origin, now) {
-		d.metrics.QuotaDrops++
+		d.ins.quotaDrops.Inc()
 		return
 	}
 
@@ -483,7 +625,7 @@ func (d *Directory) handlePacket(m transport.Message) {
 	}
 
 	if !d.validateAnnounceLocked(&pkt, desc, key) {
-		d.metrics.ForgedReports++
+		d.ins.forgedReports.Inc()
 		return
 	}
 	if _, known := d.cache.Peek(key); !known && d.owned[key] == nil {
@@ -495,7 +637,8 @@ func (d *Directory) handlePacket(m transport.Message) {
 	}
 
 	if _, fresh := d.cache.Observe(desc, now); fresh {
-		d.metrics.SessionsLearned++
+		d.ins.sessionsLearned.Inc()
+		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceLearn, Key: key})
 		d.emit(Event{Kind: EventSessionLearned, Key: key, Desc: desc})
 	}
 	if idx, ok := d.space.Index(desc.Group); ok {
@@ -519,7 +662,7 @@ func (d *Directory) handleDeleteLocked(pkt *sap.Packet, desc *session.Descriptio
 	if d.owned[key] != nil {
 		// We never withdraw our own sessions via the network; any deletion
 		// naming one of ours is forged.
-		d.metrics.ForgedDeletes++
+		d.ins.forgedDeletes.Inc()
 		return
 	}
 	e, ok := d.cache.Peek(key)
@@ -527,7 +670,7 @@ func (d *Directory) handleDeleteLocked(pkt *sap.Packet, desc *session.Descriptio
 		return // unknown session: nothing to delete
 	}
 	if pkt.Origin != desc.Origin || pkt.Origin != e.Desc.Origin {
-		d.metrics.ForgedDeletes++
+		d.ins.forgedDeletes.Inc()
 		return
 	}
 	d.cache.Delete(key, now)
@@ -592,15 +735,17 @@ func (d *Directory) admitNewLocked(desc *session.Description, now time.Time) boo
 	for _, k := range dec.Evict {
 		d.cache.Remove(k)
 		d.tracker.Forget(clash.SessionKey(k))
-		d.metrics.Evictions++
+		d.ins.evictions.Inc()
+		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceEvict, Key: k})
 		d.emit(Event{Kind: EventSessionEvicted, Key: k})
 	}
 	switch dec.Outcome {
 	case admission.Shed:
-		d.metrics.Shed++
+		d.ins.shed.Inc()
+		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceShed, Key: desc.Key()})
 		return false
 	case admission.DenyQuota:
-		d.metrics.QuotaDrops++
+		d.ins.quotaDrops.Inc()
 		return false
 	}
 	return true
@@ -635,7 +780,8 @@ func (d *Directory) applyActionsLocked(actions []clash.Action, now time.Time) {
 		case clash.ActionResendOwn:
 			if own, ok := d.owned[key]; ok {
 				if err := d.announceLocked(own, now); err == nil {
-					d.metrics.ClashDefensesOwn++
+					d.ins.clashDefensesOwn.Inc()
+					d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceDefendOwn, Key: key})
 					d.emit(Event{Kind: EventDefendedOwn, Key: key, Desc: own.desc})
 				}
 			}
@@ -652,13 +798,16 @@ func (d *Directory) applyActionsLocked(actions []clash.Action, now time.Time) {
 			own.announceCount = 0 // restart the fast back-off phase
 			d.tracker.AnnounceOwn(clash.SessionKey(key), addr, own.desc.TTL, d.ms(now))
 			if err := d.announceLocked(own, now); err == nil {
-				d.metrics.ClashAddressChanges++
+				d.ins.clashMoves.Inc()
+				d.alloc.Moves.Inc()
+				d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceClashMove, Key: key, Addr: uint32(addr)})
 				d.emit(Event{Kind: EventAddressChanged, Key: key, Desc: own.desc})
 			}
 		case clash.ActionDefendOther:
 			if e, ok := d.cache.Get(key); ok {
 				if err := d.sendDescLocked(e.Desc, sap.Announce); err == nil {
-					d.metrics.ClashDefensesThird++
+					d.ins.clashDefensesThrd.Inc()
+					d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceDefendOther, Key: key})
 					d.emit(Event{Kind: EventDefendedOther, Key: key, Desc: e.Desc})
 				}
 			}
@@ -697,7 +846,8 @@ func (d *Directory) step(now time.Time) {
 	d.applyActionsLocked(d.tracker.Due(d.ms(now)), now)
 	for _, key := range d.cache.Expire(now) {
 		d.tracker.Forget(clash.SessionKey(key))
-		d.metrics.SessionsExpired++
+		d.ins.sessionsExpired.Inc()
+		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceExpire, Key: key})
 		d.emit(Event{Kind: EventSessionExpired, Key: key})
 	}
 }
@@ -753,7 +903,8 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 	if d.cfg.MaxSessions > 0 || d.cfg.MaxPerOrigin > 0 {
 		for _, k := range d.admit.TrimPlan(d.candidatesLocked()) {
 			d.cache.Remove(k)
-			d.metrics.Evictions++
+			d.ins.evictions.Inc()
+			d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceEvict, Key: k})
 			d.emit(Event{Kind: EventSessionEvicted, Key: k})
 		}
 	}
@@ -776,16 +927,30 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 }
 
 func (d *Directory) bumpMalformed() {
-	d.mu.Lock()
-	d.metrics.PacketsMalformed++
-	d.mu.Unlock()
+	d.ins.packetsMalformed.Inc() // atomic; no need for d.mu
 }
 
 // Metrics returns a snapshot of the directory's operational counters.
+// It is now a compatibility view over the registry instruments; each
+// field is read atomically, so a snapshot taken mid-packet can be
+// slightly skewed across fields (it could before too, between packets).
 func (d *Directory) Metrics() Metrics {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.metrics
+	return Metrics{
+		AnnouncementsSent:   d.ins.announcementsSent.Value(),
+		DeletionsSent:       d.ins.deletionsSent.Value(),
+		PacketsReceived:     d.ins.packetsReceived.Value(),
+		PacketsMalformed:    d.ins.packetsMalformed.Value(),
+		SessionsLearned:     d.ins.sessionsLearned.Value(),
+		SessionsExpired:     d.ins.sessionsExpired.Value(),
+		ClashAddressChanges: d.ins.clashMoves.Value(),
+		ClashDefensesOwn:    d.ins.clashDefensesOwn.Value(),
+		ClashDefensesThird:  d.ins.clashDefensesThrd.Value(),
+		Shed:                d.ins.shed.Value(),
+		QuotaDrops:          d.ins.quotaDrops.Value(),
+		ForgedReports:       d.ins.forgedReports.Value(),
+		ForgedDeletes:       d.ins.forgedDeletes.Value(),
+		Evictions:           d.ins.evictions.Value(),
+	}
 }
 
 // CacheSize returns the listened-session cache's total occupancy,

@@ -114,8 +114,25 @@ type bucket struct {
 // Controller holds the rate limiter's per-origin state. The eviction
 // planners are stateless; they live here only to share the Config.
 type Controller struct {
-	cfg     Config
-	buckets map[netip.Addr]*bucket
+	cfg       Config
+	buckets   map[netip.Addr]*bucket
+	bucketGCs uint64
+}
+
+// Stats is the controller's observability snapshot. Like every other
+// Controller method it must be read under the caller's serialisation
+// (the directory reads it under its own mutex for registry gauges).
+type Stats struct {
+	// Origins is the number of origins the rate limiter tracks.
+	Origins int
+	// BucketGCs counts bucket-table reclaims: each one means origin churn
+	// (or a many-origin flood) pushed the table past its bound.
+	BucketGCs uint64
+}
+
+// Stats returns the controller's current observability snapshot.
+func (c *Controller) Stats() Stats {
+	return Stats{Origins: len(c.buckets), BucketGCs: c.bucketGCs}
 }
 
 // New returns a Controller. The zero-valued Config admits everything.
@@ -180,6 +197,7 @@ func (c *Controller) Origins() int { return len(c.buckets) }
 // go regardless, in deterministic address order, keeping memory bounded
 // at the price of forgetting some rate state.
 func (c *Controller) gcBuckets(now time.Time) {
+	c.bucketGCs++
 	var addrs []netip.Addr
 	for a := range c.buckets {
 		addrs = append(addrs, a)

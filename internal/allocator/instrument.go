@@ -1,0 +1,71 @@
+package allocator
+
+import (
+	"fmt"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
+	"sessiondir/internal/stats"
+)
+
+// Instrumented decorates an Allocator with per-allocator registry
+// counters: successful picks, pick failures (visible space exhausted for
+// the requested scope), and clash-driven moves. Counting is a single
+// atomic add per call and never touches the rng, so an instrumented
+// allocator draws exactly the sequence the bare one would — determinism
+// is preserved.
+//
+// The Moves counter is owned here but incremented by the directory: a
+// "move" is a clash-protocol decision (re-allocate an owned session),
+// which the allocator itself cannot observe.
+type Instrumented struct {
+	inner Allocator
+
+	// Picks counts successful Allocate calls.
+	Picks *obs.Counter
+	// Failures counts Allocate calls that returned an error.
+	Failures *obs.Counter
+	// Moves counts clash phase-2 re-allocations of owned sessions.
+	Moves *obs.Counter
+}
+
+var _ Allocator = (*Instrumented)(nil)
+
+// Instrument wraps a with counters registered on r under names derived
+// from the allocator's display name, e.g. AIPR-1 (20% gap) →
+// allocator_aipr_1_20_gap_picks_total. Registration errors (duplicate
+// names when two same-named allocators share a registry) are returned,
+// not panicked: the caller owns the registry layout.
+func Instrument(a Allocator, r *obs.Registry) (*Instrumented, error) {
+	prefix := "allocator_" + obs.Sanitize(a.Name()) + "_"
+	picks, err := r.Counter(prefix+"picks_total", "successful address allocations by "+a.Name())
+	if err != nil {
+		return nil, fmt.Errorf("allocator: instrument %s: %w", a.Name(), err)
+	}
+	failures, err := r.Counter(prefix+"failures_total", "failed address allocations (space visibly full) by "+a.Name())
+	if err != nil {
+		return nil, fmt.Errorf("allocator: instrument %s: %w", a.Name(), err)
+	}
+	moves, err := r.Counter(prefix+"moves_total", "clash-driven re-allocations of owned sessions by "+a.Name())
+	if err != nil {
+		return nil, fmt.Errorf("allocator: instrument %s: %w", a.Name(), err)
+	}
+	return &Instrumented{inner: a, Picks: picks, Failures: failures, Moves: moves}, nil
+}
+
+// Name implements Allocator.
+func (i *Instrumented) Name() string { return i.inner.Name() }
+
+// Size implements Allocator.
+func (i *Instrumented) Size() uint32 { return i.inner.Size() }
+
+// Allocate implements Allocator, counting the outcome.
+func (i *Instrumented) Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error) {
+	addr, err := i.inner.Allocate(visible, ttl, rng)
+	if err != nil {
+		i.Failures.Inc()
+		return addr, err
+	}
+	i.Picks.Inc()
+	return addr, nil
+}

@@ -35,6 +35,7 @@ var DetRand = &Analyzer{
 		"sessiondir/internal/transport",
 		"sessiondir/internal/chaos",
 		"sessiondir/internal/admission",
+		"sessiondir/internal/obs",
 	},
 	Run: runDetRand,
 }

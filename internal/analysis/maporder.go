@@ -44,6 +44,7 @@ var MapOrder = &Analyzer{
 		"sessiondir/internal/stats",
 		"sessiondir/internal/chaos",
 		"sessiondir/internal/admission",
+		"sessiondir/internal/obs",
 	},
 	Run: runMapOrder,
 }

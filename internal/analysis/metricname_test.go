@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestMetricNameFixture(t *testing.T) {
+	diags := runFixture(t, "metricname", MetricName)
+	if len(diags) != 6 {
+		t.Errorf("got %d diagnostics, want 6:\n%s", len(diags), diagnosticSummary(diags))
+	}
+}

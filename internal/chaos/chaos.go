@@ -24,6 +24,7 @@ import (
 	"sessiondir"
 	"sessiondir/internal/clash"
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
 	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
 	"sessiondir/internal/transport"
@@ -61,6 +62,12 @@ type Config struct {
 	OriginRate   float64
 	OriginBurst  float64
 	StaleAfter   time.Duration
+
+	// TraceCap, when > 0, attaches an obs event ring of this capacity to
+	// every agent's directory (reachable as Agent.Trace). Recording draws
+	// no randomness, so a traced run must replay bit-identically to an
+	// untraced one — the replay tests assert exactly that.
+	TraceCap int
 }
 
 // Agent is one directory instance and its fault-injecting transport.
@@ -68,6 +75,8 @@ type Agent struct {
 	Index int
 	Dir   *sessiondir.Directory
 	Fault *transport.FaultTransport
+	// Trace is the agent's event ring (nil unless Config.TraceCap > 0).
+	Trace *obs.Trace
 
 	ep    *transport.BusEndpoint
 	alive bool
@@ -143,6 +152,10 @@ func New(cfg Config) (*Harness, error) {
 		if dirSeed == 0 {
 			dirSeed = 1 // 0 means "pick a default" to the Directory
 		}
+		var trace *obs.Trace
+		if cfg.TraceCap > 0 {
+			trace = obs.NewTrace(cfg.TraceCap)
+		}
 		dir, err := sessiondir.New(sessiondir.Config{
 			Origin:       netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i&0xff) + 1}),
 			Transport:    ft,
@@ -156,11 +169,12 @@ func New(cfg Config) (*Harness, error) {
 			OriginRate:   cfg.OriginRate,
 			OriginBurst:  cfg.OriginBurst,
 			StaleAfter:   cfg.StaleAfter,
+			Trace:        trace,
 		})
 		if err != nil {
 			return nil, err
 		}
-		h.agents = append(h.agents, &Agent{Index: i, Dir: dir, Fault: ft, ep: ep, alive: true})
+		h.agents = append(h.agents, &Agent{Index: i, Dir: dir, Fault: ft, Trace: trace, ep: ep, alive: true})
 	}
 	return h, nil
 }

@@ -31,6 +31,10 @@ func heavyFaults() transport.FaultProfile {
 // long quiet tail for soft state to converge. Returns the harness after
 // the run.
 func runFlagship(t *testing.T, seed uint64) *Harness {
+	return runFlagshipTraced(t, seed, 0)
+}
+
+func runFlagshipTraced(t *testing.T, seed uint64, traceCap int) *Harness {
 	t.Helper()
 	h, err := New(Config{
 		Agents:           8,
@@ -38,6 +42,7 @@ func runFlagship(t *testing.T, seed uint64) *Harness {
 		Start:            chaosStart(),
 		SpaceSize:        64,
 		SessionsPerAgent: 2,
+		TraceCap:         traceCap,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +96,40 @@ func TestChaosDeterministicReplay(t *testing.T) {
 		if sa != sb {
 			t.Fatalf("agent %d fault schedule diverged between identical runs:\nrun 1: %+v\nrun 2: %+v", i, sa, sb)
 		}
+	}
+}
+
+// TestChaosTraceReplayBitIdentical is the tracing determinism contract:
+// attaching an event trace must not perturb a seeded run (recording draws
+// no randomness and takes no time on the virtual clock), and the traces
+// of two identical traced runs must match event for event.
+func TestChaosTraceReplayBitIdentical(t *testing.T) {
+	plain := runFlagship(t, 42)
+	traced := runFlagshipTraced(t, 42, 8192)
+	traced2 := runFlagshipTraced(t, 42, 8192)
+	for i := 0; i < 8; i++ {
+		fp, ft := plain.Fingerprint(i), traced.Fingerprint(i)
+		if fp != ft {
+			t.Fatalf("agent %d: tracing changed the run:\n--- untraced:\n%s\n--- traced:\n%s", i, fp, ft)
+		}
+		if mp, mt := plain.Agent(i).Dir.Metrics(), traced.Agent(i).Dir.Metrics(); mp != mt {
+			t.Fatalf("agent %d: tracing changed the metrics:\nuntraced: %+v\ntraced:   %+v", i, mp, mt)
+		}
+		ea, eb := traced.Agent(i).Trace.Events(), traced2.Agent(i).Trace.Events()
+		if len(ea) == 0 {
+			t.Fatalf("agent %d recorded no trace events", i)
+		}
+		if len(ea) != len(eb) {
+			t.Fatalf("agent %d trace lengths diverged: %d vs %d", i, len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("agent %d trace event %d diverged:\nrun 1: %+v\nrun 2: %+v", i, j, ea[j], eb[j])
+			}
+		}
+	}
+	if plain.Agent(0).Trace != nil {
+		t.Fatal("untraced run grew a trace")
 	}
 }
 

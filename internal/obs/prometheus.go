@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families in lexical name order.
+// Counter and gauge families are single unlabelled samples; histograms
+// render cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range r.sortedNames() {
+		e := r.metrics[name]
+		if e.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, e.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, e.m.kind())
+		switch m := e.m.(type) {
+		case *Histogram:
+			bounds, cum := m.Buckets()
+			for i, b := range bounds {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, strconv.FormatInt(b, 10), cum[i])
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+			fmt.Fprintf(bw, "%s_sum %d\n", name, m.Sum())
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Count())
+		default:
+			// Scalar families flatten to exactly one sample named after
+			// the family itself.
+			for _, s := range e.m.sample(name, nil) {
+				fmt.Fprintf(bw, "%s %s\n", s.Name, formatValue(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// formatValue renders integers without an exponent or trailing zeros and
+// everything else with full float precision.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceNilIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Record(TraceEvent{Kind: TraceLearn}) // must not panic
+	if tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil trace reported state")
+	}
+}
+
+func TestTraceOrderingBeforeOverflow(t *testing.T) {
+	tr := NewTrace(8)
+	for i := 0; i < 5; i++ {
+		tr.Record(TraceEvent{At: float64(i), Kind: TraceAnnounce})
+	}
+	ev := tr.Events()
+	if len(ev) != 5 {
+		t.Fatalf("got %d events, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if e.At != float64(i) {
+			t.Errorf("event %d has At=%v, want %d (oldest-first order)", i, e.At, i)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTraceOverflowDropsOldest(t *testing.T) {
+	const capacity = 4
+	tr := NewTrace(capacity)
+	for i := 0; i < 10; i++ {
+		tr.Record(TraceEvent{At: float64(i), Kind: TraceClashMove})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 10-capacity {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 10-capacity)
+	}
+	ev := tr.Events()
+	if len(ev) != capacity {
+		t.Fatalf("got %d events, want %d", len(ev), capacity)
+	}
+	for i, e := range ev {
+		if want := float64(10 - capacity + i); e.At != want {
+			t.Errorf("event %d has At=%v, want %v (newest %d retained, oldest-first)",
+				i, e.At, want, capacity)
+		}
+	}
+}
+
+func TestTraceWriteText(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Record(TraceEvent{At: 1000, Kind: TraceAllocate, Key: "k1", Addr: 42})
+	tr.Record(TraceEvent{At: 2500.5, Kind: TraceEvict, Key: "k2"})
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# trace: 2 events retained, 2 recorded, 0 dropped\n" +
+		"1000.000 allocate k1 addr=42\n" +
+		"2500.500 evict k2 addr=0\n"
+	if got != want {
+		t.Errorf("WriteText:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	kinds := []TraceKind{
+		TraceAllocate, TraceAnnounce, TraceClashMove, TraceDefendOwn,
+		TraceDefendOther, TraceLearn, TraceExpire, TraceEvict, TraceShed,
+		TraceDelete,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "TraceKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if got := TraceKind(250).String(); got != "TraceKind(250)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+// TestTraceConcurrentRecord is the -race gate for the ring buffer.
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(TraceEvent{At: float64(i), Kind: TraceLearn, Key: fmt.Sprintf("w%d", w)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Events()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 4000 {
+		t.Errorf("total = %d, want 4000", tr.Total())
+	}
+	if len(tr.Events()) != 128 {
+		t.Errorf("retained = %d, want 128", len(tr.Events()))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
 	"sessiondir/internal/stats"
 )
 
@@ -101,6 +102,12 @@ type FaultConfig struct {
 	// Clock stamps due times for delayed packets (nil = SystemClock; use
 	// a ManualClock in tests so Step can run on virtual time).
 	Clock Clock
+	// Obs, when non-nil, registers the fault counters (per-direction
+	// packets/drops/duplicates/corruptions/delays and the pending-queue
+	// gauge) as registry views over Stats(); fault decisions themselves
+	// are untouched, so a seeded schedule replays identically with or
+	// without a registry attached.
+	Obs *obs.Registry
 }
 
 // FaultStats counts injected faults per direction.
@@ -226,8 +233,51 @@ func NewFault(inner Transport, cfg FaultConfig) (*FaultTransport, error) {
 		egress:  dirState{profile: cfg.Egress},
 		ingress: dirState{profile: cfg.Ingress},
 	}
+	if cfg.Obs != nil {
+		if err := f.registerObs(cfg.Obs); err != nil {
+			return nil, err
+		}
+	}
 	inner.Subscribe(f.onRecv)
 	return f, nil
+}
+
+// registerObs exposes the fault counters as registry views. Each
+// callback snapshots Stats() at scrape time, so the per-packet fault
+// path never touches the registry.
+func (f *FaultTransport) registerObs(r *obs.Registry) error {
+	dirs := []struct {
+		prefix string
+		pick   func(FaultStats) DirStats
+	}{
+		{"fault_egress_", func(s FaultStats) DirStats { return s.Egress }},
+		{"fault_ingress_", func(s FaultStats) DirStats { return s.Ingress }},
+	}
+	for _, d := range dirs {
+		pick := d.pick
+		counters := []struct {
+			name, help string
+			get        func(DirStats) uint64
+		}{
+			{"packets_total", "packets offered to the fault process", func(s DirStats) uint64 { return s.Packets }},
+			{"dropped_total", "injected drops (independent + bursty)", func(s DirStats) uint64 { return s.Dropped }},
+			{"burst_dropped_total", "drops decided by the Gilbert-Elliott chain", func(s DirStats) uint64 { return s.BurstDropped }},
+			{"duplicated_total", "injected duplicate deliveries", func(s DirStats) uint64 { return s.Duplicated }},
+			{"corrupted_total", "injected single-bit corruptions", func(s DirStats) uint64 { return s.Corrupted }},
+			{"delayed_total", "packets routed through the delay queue", func(s DirStats) uint64 { return s.Delayed }},
+		}
+		for _, c := range counters {
+			get := c.get
+			if err := r.CounterFunc(d.prefix+c.name, c.help, func() uint64 { return get(pick(f.Stats())) }); err != nil {
+				return fmt.Errorf("transport: %w", err)
+			}
+		}
+	}
+	if err := r.GaugeFunc("fault_pending", "delayed packets awaiting a Step",
+		func() float64 { return float64(f.Stats().Pending) }); err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	return nil
 }
 
 // SetProfiles swaps both fault profiles atomically. Chaos schedules use

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sessiondir/internal/mcast"
+	"sessiondir/internal/obs"
 	"sessiondir/internal/stats"
 )
 
@@ -60,6 +61,11 @@ type UDPConfig struct {
 	// that arrive larger are quarantined: dropped and counted in
 	// Metrics().Oversized rather than handed truncated to the parser.
 	MaxPacket int
+	// Obs, when non-nil, registers the read loop's quarantine counters
+	// (udp_received_total, udp_oversized_total, udp_runts_total,
+	// udp_read_errors_total) as registry views over the same atomics
+	// Metrics() reads; the socket hot path is unchanged.
+	Obs *obs.Registry
 }
 
 // UDPMetrics counts the read loop's quarantine and error decisions.
@@ -98,10 +104,41 @@ var _ Transport = (*UDPTransport)(nil)
 // otherwise it joins the multicast group (which requires a multicast-
 // capable interface and may fail in restricted environments).
 func NewUDP(cfg UDPConfig) (*UDPTransport, error) {
-	if len(cfg.Peers) > 0 {
-		return newUnicastUDP(cfg)
+	t, err := func() (*UDPTransport, error) {
+		if len(cfg.Peers) > 0 {
+			return newUnicastUDP(cfg)
+		}
+		return newMulticastUDP(cfg)
+	}()
+	if err != nil {
+		return nil, err
 	}
-	return newMulticastUDP(cfg)
+	if cfg.Obs != nil {
+		if err := t.registerObs(cfg.Obs); err != nil {
+			_ = t.Close() // registration failed before the transport was shared
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// registerObs exposes the read-loop counters as registry views.
+func (t *UDPTransport) registerObs(r *obs.Registry) error {
+	views := []struct {
+		name, help string
+		src        *atomic.Uint64
+	}{
+		{"udp_received_total", "datagrams accepted and handed to the handler layer", &t.received},
+		{"udp_oversized_total", "datagrams larger than MaxPacket, quarantined", &t.oversized},
+		{"udp_runts_total", "datagrams too short for a SAP header, quarantined", &t.runts},
+		{"udp_read_errors_total", "socket read failures, each backed off before retry", &t.readErrors},
+	}
+	for _, v := range views {
+		if err := r.CounterFunc(v.name, v.help, v.src.Load); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+	}
+	return nil
 }
 
 func maxPacket(cfg UDPConfig) int {

@@ -1,0 +1,116 @@
+package sessiondir
+
+import (
+	"testing"
+	"time"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/transport"
+)
+
+// The ROADMAP bug these tests pin down: every sdrd started without an
+// explicit seed used the same built-in fallback, so all daemons shared
+// allocator RNG stream zero. Two partitioned daemons then allocated the
+// SAME address sequence, and on a symmetric clash both drew the same
+// replacement address — a mirror move that can repeat forever. The fix is
+// in cmd/sdrd (default seed derived from origin+PID); these tests prove
+// the underlying property the fix relies on: seeds are the tie-breaker.
+
+// addressSequence creates n sessions on an isolated directory and returns
+// the allocated groups in creation order.
+func addressSequence(t *testing.T, seed uint64, n int) []string {
+	t.Helper()
+	bus := transport.NewBus() // private bus: fully partitioned from any peer
+	clk := newFakeClock()
+	d, _ := newDirectory(t, bus, clk, "10.0.0.1", 256, seed, nil)
+	defer d.Close()
+	var out []string
+	for i := 0; i < n; i++ {
+		desc, err := d.CreateSession(testDesc("s", 127))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, desc.Group.String())
+		clk.Advance(time.Second)
+	}
+	return out
+}
+
+// TestSharedSeedMirrorsAllocations demonstrates the hazard: two directories
+// with the same seed and no communication draw bit-identical address
+// sequences, so symmetric clashes re-clash on every retry.
+func TestSharedSeedMirrorsAllocations(t *testing.T) {
+	a := addressSequence(t, 42, 10)
+	b := addressSequence(t, 42, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDistinctSeedsDivergeAllocations is the tie-break regression test:
+// distinct seeds (as sdrd now derives from origin+PID) must yield
+// different draw sequences, so a symmetric clash cannot mirror forever.
+func TestDistinctSeedsDivergeAllocations(t *testing.T) {
+	a := addressSequence(t, 42, 10)
+	b := addressSequence(t, 43, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			return // diverged: the tie is broken
+		}
+	}
+	t.Fatalf("distinct seeds produced identical 10-address sequences: %v", a)
+}
+
+// TestSymmetricClashResolvesWithDistinctSeeds drives the full protocol
+// through the symmetric case: both daemons allocate the same address at
+// the same instant inside a partition (forced by sharing a seed for the
+// initial pick via a warm-up), then the partition heals while BOTH are
+// inside the recent window — the configuration where the paper's phase-2
+// rule makes both sides move. With distinct seeds the replacements differ
+// and the clash resolves within a bounded number of steps.
+func TestSymmetricClashResolvesWithDistinctSeeds(t *testing.T) {
+	bus := transport.NewBus()
+	clk := newFakeClock()
+	logA, logB := &eventLog{}, &eventLog{}
+	a, _ := newDirectory(t, bus, clk, "10.0.0.1", 2, 42, logA)
+	b, _ := newDirectory(t, bus, clk, "10.0.0.2", 2, 43, logB)
+	defer a.Close()
+	defer b.Close()
+
+	bus.SetPolicy(func(from, to int, _ mcast.TTL) bool { return false })
+
+	descA, err := a.CreateSession(testDesc("a", 127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	descB, err := b.CreateSession(testDesc("b", 127))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if descA.Group != descB.Group {
+		// Size-2 space: force the collision by re-creating on the other
+		// address being free. If the picks differ the clash cannot happen;
+		// that is itself the fixed behaviour, but this test wants the
+		// symmetric-collision path, so align them.
+		t.Fatalf("setup: expected colliding initial picks in a size-2 space, got %s vs %s",
+			descA.Group, descB.Group)
+	}
+
+	// Heal while both sessions are recent (announced seconds ago).
+	bus.SetPolicy(nil)
+	for i := 0; i < 20; i++ {
+		now := clk.Advance(6 * time.Second)
+		a.Step(now)
+		b.Step(now)
+		ga := a.OwnSessions()[0].Group
+		gb := b.OwnSessions()[0].Group
+		if ga != gb {
+			return // resolved
+		}
+	}
+	t.Fatalf("symmetric clash never resolved: both still at %s (A moves=%d, B moves=%d)",
+		a.OwnSessions()[0].Group,
+		logA.count(EventAddressChanged), logB.count(EventAddressChanged))
+}
