@@ -1,0 +1,123 @@
+package sessiondir
+
+import (
+	"strings"
+	"testing"
+
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/session"
+	"sessiondir/internal/transport"
+)
+
+func batchDesc(name string, ttl mcast.TTL) *session.Description {
+	return &session.Description{
+		Name:  name,
+		TTL:   ttl,
+		Media: []session.Media{{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"}},
+	}
+}
+
+// TestCreateSessionBatchMatchesSequential pins the directory-level batch
+// contract: with the same seed and view, CreateSessionBatch must assign
+// exactly the addresses that sequential CreateSession calls would have.
+func TestCreateSessionBatchMatchesSequential(t *testing.T) {
+	const n = 8
+	clk := newFakeClock()
+	seq, _ := newDirectory(t, transport.NewBus(), clk, "10.0.0.1", 256, 7, nil)
+	defer seq.Close()
+	bat, _ := newDirectory(t, transport.NewBus(), clk, "10.0.0.1", 256, 7, nil)
+	defer bat.Close()
+
+	var wantGroups []string
+	for i := 0; i < n; i++ {
+		out, err := seq.CreateSession(batchDesc("s", 127))
+		if err != nil {
+			t.Fatalf("sequential create %d: %v", i, err)
+		}
+		wantGroups = append(wantGroups, out.Group.String())
+	}
+
+	descs := make([]*session.Description, n)
+	for i := range descs {
+		descs[i] = batchDesc("s", 127)
+	}
+	got, err := bat.CreateSessionBatch(descs)
+	if err != nil {
+		t.Fatalf("batch create: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("batch created %d sessions, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i].Group.String() != wantGroups[i] {
+			t.Fatalf("session %d: batch group %s, sequential group %s",
+				i, got[i].Group, wantGroups[i])
+		}
+	}
+}
+
+// TestCreateSessionBatchMixedScopes: a batch whose TTLs change mid-way is
+// split into same-scope runs; results stay aligned with the input and all
+// sessions end up owned and announced.
+func TestCreateSessionBatchMixedScopes(t *testing.T) {
+	clk := newFakeClock()
+	log := &eventLog{}
+	d, _ := newDirectory(t, transport.NewBus(), clk, "10.0.0.1", 256, 3, log)
+	defer d.Close()
+
+	ttls := []mcast.TTL{127, 127, 47, 47, 47, 127}
+	descs := make([]*session.Description, len(ttls))
+	for i, ttl := range ttls {
+		descs[i] = batchDesc("m", ttl)
+	}
+	got, err := d.CreateSessionBatch(descs)
+	if err != nil {
+		t.Fatalf("batch create: %v", err)
+	}
+	if len(got) != len(ttls) {
+		t.Fatalf("created %d, want %d", len(got), len(ttls))
+	}
+	seen := map[string]bool{}
+	for i, out := range got {
+		if out.TTL != ttls[i] {
+			t.Fatalf("result %d has TTL %d, want %d (alignment broken)", i, out.TTL, ttls[i])
+		}
+		if seen[out.Group.String()] {
+			t.Fatalf("group %s assigned twice in one batch", out.Group)
+		}
+		seen[out.Group.String()] = true
+	}
+	if n := len(d.OwnSessions()); n != len(ttls) {
+		t.Fatalf("%d owned sessions, want %d", n, len(ttls))
+	}
+	if n := log.count(EventAnnounceSent); n != len(ttls) {
+		t.Fatalf("%d announcements, want %d", n, len(ttls))
+	}
+}
+
+// TestCreateSessionBatchPartialFailure: when the space runs out mid-batch
+// the sessions created before the failure stay created and are returned
+// with the error, mirroring what sequential creates would have left.
+func TestCreateSessionBatchPartialFailure(t *testing.T) {
+	clk := newFakeClock()
+	d, _ := newDirectory(t, transport.NewBus(), clk, "10.0.0.1", 4, 5, nil)
+	defer d.Close()
+
+	descs := make([]*session.Description, 8)
+	for i := range descs {
+		descs[i] = batchDesc("x", 127)
+	}
+	got, err := d.CreateSessionBatch(descs)
+	if err == nil {
+		t.Fatal("expected exhaustion error for 8 sessions in a 4-address space")
+	}
+	if !strings.Contains(err.Error(), "allocate batch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if len(got) == 0 || len(got) > 4 {
+		t.Fatalf("partial result has %d sessions, want 1..4", len(got))
+	}
+	if n := len(d.OwnSessions()); n != len(got) {
+		t.Fatalf("%d owned sessions, but %d returned", n, len(got))
+	}
+}

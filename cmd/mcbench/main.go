@@ -57,6 +57,7 @@ type benchReport struct {
 	Workers    int                `json:"workers"` // 0 = GOMAXPROCS
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos,omitempty"` // budget gates that need recvmmsg apply on linux only
 	Figures    []figureTiming     `json:"figures"`
 	Micro      []microBenchResult `json:"micro"`
 	// Registry is the merged metrics snapshot of a small seeded fleet
@@ -71,10 +72,17 @@ type figureTiming struct {
 }
 
 type microBenchResult struct {
-	Name     string  `json:"name"`
+	Name string `json:"name"`
+	// NsPerOp is per *unit of work*: per allocation for the Allocate
+	// micros, per address for the AllocateBatch micros, per datagram for
+	// the UDPRecv micros.
 	NsPerOp  float64 `json:"ns_per_op"`
 	AllocsOp int64   `json:"allocs_per_op"`
 	BytesOp  int64   `json:"bytes_per_op"`
+	// Receive-micro extras (zero elsewhere): drain rate and syscall
+	// amortization (datagrams retired per receive syscall).
+	DgramsPerSec float64 `json:"dgrams_per_sec,omitempty"`
+	BatchDepth   float64 `json:"batch_depth,omitempty"`
 }
 
 // microBenches mirrors the hot-path micro-benchmarks in bench_test.go so a
@@ -117,7 +125,108 @@ func microBenches() []microBenchResult {
 			BytesOp:  res.AllocedBytesPerOp(),
 		})
 	}
+
+	// Batch allocation micros: ns_per_op here is per ADDRESS (total time
+	// over N batches of k), which is what the <1µs/address budget gates.
+	batchCases := []struct {
+		name  string
+		alloc allocator.Allocator
+		k     int
+	}{
+		{"AllocateHybridBatch16", allocator.NewHybrid(4096), 16},
+		{"AllocateHybridBatch64", allocator.NewHybrid(4096), 64},
+		{"AllocateAdaptiveBatch16", allocator.NewAdaptive(4096, allocator.AdaptiveConfig{GapFraction: 0.2}), 16},
+	}
+	for _, c := range batchCases {
+		c := c
+		view := mkView(500, mcast.DS4())
+		rng := stats.NewRNG(5)
+		dst := make([]mcast.Addr, 0, c.k)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = c.alloc.AllocateBatch(view, 127, c.k, dst[:0], rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microBenchResult{
+			Name:     c.name,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N*c.k),
+			AllocsOp: res.AllocsPerOp(),
+			BytesOp:  res.AllocedBytesPerOp(),
+		})
+	}
+
+	// Receive-path micros: the frozen pre-batching baseline vs the
+	// shipping batched zero-copy pipeline, per-datagram, fill excluded
+	// (see transport.RecvThroughput).
+	recvCases := []struct {
+		name string
+		mode transport.RecvBenchMode
+	}{
+		{"UDPRecvLegacy", transport.RecvLegacy},
+		{"UDPRecvBatch", transport.RecvBatched},
+	}
+	for _, c := range recvCases {
+		res, err := transport.RecvThroughput(c.mode, 200, 64, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "recv micro %s skipped: %v\n", c.name, err)
+			continue
+		}
+		out = append(out, microBenchResult{
+			Name:         c.name,
+			NsPerOp:      res.NsPerDatagram(),
+			AllocsOp:     int64(res.AllocsPerDatagram + 0.5),
+			DgramsPerSec: res.DatagramsPerSec(),
+			BatchDepth:   res.BatchDepth(),
+		})
+	}
 	return out
+}
+
+// budgetFailures enforces the absolute perf budgets on a fresh report —
+// unlike the ratio gate these do not need a baseline, so a report that
+// merely keeps pace with a slow ancestor still cannot pass while blowing
+// the targets this PR-era hardware established:
+//
+//   - batched Hybrid allocation under 1µs per address at batch 16;
+//   - zero steady-state allocations per received datagram;
+//   - on linux, ≥10 datagrams retired per receive syscall (recvmmsg
+//     amortization) and the batched drain at least as fast per datagram
+//     as the frozen pre-batching baseline.
+func budgetFailures(r benchReport) []string {
+	micro := make(map[string]microBenchResult, len(r.Micro))
+	for _, m := range r.Micro {
+		micro[m.Name] = m
+	}
+	var fails []string
+	if m, ok := micro["AllocateHybridBatch16"]; !ok {
+		fails = append(fails, "budget: micro AllocateHybridBatch16 missing from report")
+	} else if m.NsPerOp >= 1000 {
+		fails = append(fails, fmt.Sprintf("budget: AllocateHybridBatch16 %.0f ns/address, budget < 1000", m.NsPerOp))
+	}
+	batch, haveBatch := micro["UDPRecvBatch"]
+	if !haveBatch {
+		fails = append(fails, "budget: micro UDPRecvBatch missing from report")
+		return fails
+	}
+	if batch.AllocsOp != 0 {
+		fails = append(fails, fmt.Sprintf("budget: UDPRecvBatch %d allocs/datagram, budget 0", batch.AllocsOp))
+	}
+	if r.GOOS == "linux" {
+		if batch.BatchDepth < 10 {
+			fails = append(fails, fmt.Sprintf("budget: UDPRecvBatch %.1f datagrams/syscall, budget ≥ 10 (recvmmsg)", batch.BatchDepth))
+		}
+		if legacy, ok := micro["UDPRecvLegacy"]; ok && batch.NsPerOp > 0 {
+			if ratio := legacy.NsPerOp / batch.NsPerOp; ratio < 1.2 {
+				fails = append(fails, fmt.Sprintf("budget: batched drain only %.2fx the legacy baseline, budget ≥ 1.2x", ratio))
+			}
+		}
+	}
+	return fails
 }
 
 // registrySnapshot runs a small deterministic fleet — four directories on
@@ -315,6 +424,7 @@ func runCompare(args []string) int {
 		return 2
 	}
 	warnings, failures := compareReports(oldR, newR, opts)
+	failures = append(failures, budgetFailures(newR)...)
 	fmt.Printf("compare %s -> %s: tolerance %.0f%%, fail ratio %.2gx\n",
 		oldPath, newPath, opts.tolerancePct, opts.failRatio)
 	for _, w := range warnings {
@@ -390,6 +500,7 @@ func main() {
 		Workers:    *workers,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
 	}
 
 	for _, r := range runners {
@@ -428,7 +539,11 @@ func main() {
 		fmt.Println("==== micro-benchmarks (allocation hot path) ====")
 		report.Micro = microBenches()
 		for _, m := range report.Micro {
-			fmt.Printf("%-24s %12.0f ns/op %6d B/op %4d allocs/op\n", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+			fmt.Printf("%-24s %12.0f ns/op %6d B/op %4d allocs/op", m.Name, m.NsPerOp, m.BytesOp, m.AllocsOp)
+			if m.DgramsPerSec > 0 {
+				fmt.Printf(" %12.0f dgram/s %6.1f dgram/syscall", m.DgramsPerSec, m.BatchDepth)
+			}
+			fmt.Println()
 		}
 		snap, err := registrySnapshot()
 		if err != nil {

@@ -101,7 +101,11 @@ func TestRunCompareInjected2xSlowdown(t *testing.T) {
 	if err := os.WriteFile(oldPath, []byte(`{"figures":[{"id":"fig5","wall_ms":1000}],"micro":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(newPath, []byte(`{"figures":[{"id":"fig5","wall_ms":2100}],"micro":[]}`), 0o644); err != nil {
+	// The new report carries budget-compliant micros so the absolute
+	// budgets stay quiet and only the injected slowdown drives the gate.
+	if err := os.WriteFile(newPath, []byte(`{"figures":[{"id":"fig5","wall_ms":2100}],"micro":[
+		{"name":"AllocateHybridBatch16","ns_per_op":400},
+		{"name":"UDPRecvBatch","ns_per_op":450,"allocs_per_op":0}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if code := runCompare([]string{oldPath, newPath, "-tolerance", "25%"}); code == 0 {
@@ -110,5 +114,65 @@ func TestRunCompareInjected2xSlowdown(t *testing.T) {
 	// And the same pair passes with the ratio raised above the slowdown.
 	if code := runCompare([]string{oldPath, newPath, "-fail-ratio", "3"}); code != 0 {
 		t.Fatalf("gate failed below the fail ratio: exit %d", code)
+	}
+}
+
+// budgetReport is a report that satisfies every absolute budget.
+func budgetReport() benchReport {
+	return benchReport{
+		GOOS: "linux",
+		Micro: []microBenchResult{
+			{Name: "AllocateHybridBatch16", NsPerOp: 400},
+			{Name: "UDPRecvLegacy", NsPerOp: 800, AllocsOp: 2, DgramsPerSec: 1.2e6, BatchDepth: 1},
+			{Name: "UDPRecvBatch", NsPerOp: 450, AllocsOp: 0, DgramsPerSec: 2.2e6, BatchDepth: 30},
+		},
+	}
+}
+
+func TestBudgetFailuresCleanReport(t *testing.T) {
+	if fails := budgetFailures(budgetReport()); len(fails) != 0 {
+		t.Fatalf("budgets flagged a compliant report: %v", fails)
+	}
+}
+
+func TestBudgetFailuresHybridBatchTooSlow(t *testing.T) {
+	r := budgetReport()
+	r.Micro[0].NsPerOp = 1500 // per address: past the 1µs target
+	if fails := budgetFailures(r); len(fails) != 1 {
+		t.Fatalf("slow batched Hybrid not caught: %v", fails)
+	}
+}
+
+func TestBudgetFailuresAllocRegression(t *testing.T) {
+	r := budgetReport()
+	r.Micro[2].AllocsOp = 1 // steady-state receive must stay at zero
+	if fails := budgetFailures(r); len(fails) != 1 {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+}
+
+func TestBudgetFailuresBatchDepthCollapse(t *testing.T) {
+	r := budgetReport()
+	r.Micro[2].BatchDepth = 1 // recvmmsg silently degraded to 1:1
+	if fails := budgetFailures(r); len(fails) != 1 {
+		t.Fatalf("batch-depth collapse not caught: %v", fails)
+	}
+}
+
+func TestBudgetFailuresMissingMicros(t *testing.T) {
+	r := budgetReport()
+	r.Micro = nil
+	if fails := budgetFailures(r); len(fails) != 2 {
+		t.Fatalf("missing micros should produce two failures, got: %v", fails)
+	}
+}
+
+func TestBudgetFailuresDepthGateLinuxOnly(t *testing.T) {
+	r := budgetReport()
+	r.GOOS = "darwin"
+	r.Micro[2].BatchDepth = 1 // fine off linux: no recvmmsg there
+	r.Micro[2].NsPerOp = 900  // and no mandated speedup either
+	if fails := budgetFailures(r); len(fails) != 0 {
+		t.Fatalf("non-linux report held to linux-only gates: %v", fails)
 	}
 }

@@ -6,6 +6,7 @@
 //	detrand    no wall clock or ambient randomness in deterministic packages
 //	maporder   no order-sensitive range-over-map in deterministic packages
 //	lockscope  no function calls while a sync mutex is held
+//	looplock   no per-iteration mutex acquisition inside loop bodies
 //	errdrop    no silently discarded errors on the network paths
 //	metricname obs registry metric names are snake_case and unique
 //

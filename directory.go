@@ -301,7 +301,7 @@ func (d *Directory) registerGauges() error {
 // until quiescent.
 func (d *Directory) flush() {
 	for {
-		d.mu.Lock()
+		d.mu.Lock() //mclint:looplock re-taken each round on purpose so handlers can enqueue between drains
 		if len(d.outbox) == 0 {
 			d.mu.Unlock()
 			return
@@ -309,11 +309,13 @@ func (d *Directory) flush() {
 		msgs := d.outbox
 		d.outbox = nil
 		d.mu.Unlock()
-		for _, m := range msgs {
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			_ = d.cfg.Transport.Send(ctx, m.data, m.ttl) // transient errors: next interval retries
-			cancel()
+		batch := make([]transport.Datagram, len(msgs))
+		for i, m := range msgs {
+			batch[i] = transport.Datagram{Data: m.data, Scope: m.ttl}
 		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = transport.SendAll(ctx, d.cfg.Transport, batch) // transient errors: next interval retries
+		cancel()
 	}
 }
 
@@ -436,6 +438,17 @@ func (d *Directory) createSession(desc *session.Description) (*session.Descripti
 		return nil, fmt.Errorf("sessiondir: closed")
 	}
 	now := d.cfg.Clock()
+	c := d.prepOwnCopyLocked(desc, now)
+	addr, err := d.alloc.Allocate(d.viewLocked(), c.TTL, d.rng)
+	if err != nil {
+		return nil, fmt.Errorf("sessiondir: allocate: %w", err)
+	}
+	return d.registerOwnedLocked(c, addr, now)
+}
+
+// prepOwnCopyLocked makes the directory's own copy of a description about
+// to be created: deep media slice, our origin, and defaulted ID/version.
+func (d *Directory) prepOwnCopyLocked(desc *session.Description, now time.Time) session.Description {
 	c := *desc
 	c.Media = append([]session.Media(nil), desc.Media...)
 	c.Origin = d.cfg.Origin
@@ -446,10 +459,13 @@ func (d *Directory) createSession(desc *session.Description) (*session.Descripti
 	if c.Version == 0 {
 		c.Version = 1
 	}
-	addr, err := d.alloc.Allocate(d.viewLocked(), c.TTL, d.rng)
-	if err != nil {
-		return nil, fmt.Errorf("sessiondir: allocate: %w", err)
-	}
+	return c
+}
+
+// registerOwnedLocked binds an allocated address to a prepared copy,
+// registers it as owned, and announces it. On failure nothing is
+// retained.
+func (d *Directory) registerOwnedLocked(c session.Description, addr mcast.Addr, now time.Time) (*session.Description, error) {
 	c.Group = d.space.Group(addr)
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -463,6 +479,56 @@ func (d *Directory) createSession(desc *session.Description) (*session.Descripti
 		return nil, err
 	}
 	return &c, nil
+}
+
+// CreateSessionBatch creates several sessions in one pass, amortising the
+// allocator's per-call view scan: consecutive descriptions with the same
+// scope share a single AllocateBatch, which computes band/partition state
+// once for the whole run (the addresses are bit-identical to sequential
+// CreateSession calls; see allocator.AllocateBatchSerial). Results align
+// with descs by index. On error the sessions created before the failure
+// stay created and are returned with it — callers retrying a partial
+// burst should resubmit only the tail.
+func (d *Directory) CreateSessionBatch(descs []*session.Description) ([]*session.Description, error) {
+	out, err := d.createSessionBatch(descs)
+	d.flush()
+	return out, err
+}
+
+func (d *Directory) createSessionBatch(descs []*session.Description) ([]*session.Description, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("sessiondir: closed")
+	}
+	now := d.cfg.Clock()
+	out := make([]*session.Description, 0, len(descs))
+	addrs := make([]mcast.Addr, 0, len(descs))
+	for i := 0; i < len(descs); {
+		// One allocator pass per same-TTL run, in input order.
+		j := i
+		for j < len(descs) && descs[j].TTL == descs[i].TTL {
+			j++
+		}
+		var allocErr error
+		addrs, allocErr = d.alloc.AllocateBatch(d.viewLocked(), descs[i].TTL, j-i, addrs[:0], d.rng)
+		// Register whatever the run yielded even when it ran out mid-way:
+		// sequential CreateSession calls would have created exactly these
+		// before hitting the same failure.
+		for k, addr := range addrs {
+			c := d.prepOwnCopyLocked(descs[i+k], now)
+			created, err := d.registerOwnedLocked(c, addr, now)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, created)
+		}
+		if allocErr != nil {
+			return out, fmt.Errorf("sessiondir: allocate batch: %w", allocErr)
+		}
+		i = j
+	}
+	return out, nil
 }
 
 // viewLocked builds the allocator view: every live cached session plus our
@@ -580,9 +646,13 @@ func (d *Directory) OwnSessions() []*session.Description {
 	return out
 }
 
-// onPacket is the transport receive path.
+// onPacket is the transport receive path. The message's receive buffer
+// is released as soon as handlePacket returns: the SAP decode may alias
+// m.Data, but everything that survives the call (cached descriptions,
+// keys) is parsed into fresh strings, so nothing outlives the release.
 func (d *Directory) onPacket(m transport.Message) {
 	d.handlePacket(m)
+	m.Release()
 	d.flush()
 }
 

@@ -48,6 +48,16 @@ type Allocator interface {
 	Size() uint32
 	// Allocate picks an address for a new session of scope ttl.
 	Allocate(visible []SessionInfo, ttl mcast.TTL, rng *stats.RNG) (mcast.Addr, error)
+	// AllocateBatch picks addresses for k new sessions of scope ttl in one
+	// pass, appending them to dst and returning the extended slice. The
+	// result is bit-identical to k sequential Allocate calls in which each
+	// freshly allocated session is appended to the view between calls, but
+	// band/partition state and the used-address view are computed once per
+	// batch instead of once per address (see batch.go). On failure the
+	// addresses allocated before the error are returned alongside it.
+	// Implementations without a custom batch path may delegate to
+	// AllocateBatchSerial, which is the semantic oracle.
+	AllocateBatch(visible []SessionInfo, ttl mcast.TTL, k int, dst []mcast.Addr, rng *stats.RNG) ([]mcast.Addr, error)
 }
 
 // pickFreeInRange returns a uniformly random address in [start, start+width)

@@ -287,6 +287,11 @@ func (ls *lockState) deferCall(call *ast.CallExpr) {
 // and the method name. Locks reached through struct embedding are not
 // recognized; this repository names its mutex fields explicitly.
 func (ls *lockState) mutexOp(call *ast.CallExpr) (mutex, method string, ok bool) {
+	return mutexOp(ls.pass, call)
+}
+
+// mutexOp is the shared matcher behind lockscope and looplock.
+func mutexOp(pass *Pass, call *ast.CallExpr) (mutex, method string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
@@ -296,7 +301,7 @@ func (ls *lockState) mutexOp(call *ast.CallExpr) (mutex, method string, ok bool)
 	default:
 		return "", "", false
 	}
-	t := ls.pass.TypeOf(sel.X)
+	t := pass.TypeOf(sel.X)
 	if t == nil {
 		return "", "", false
 	}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package transport
+
+import "net"
+
+// newBatchConn returns the portable one-datagram-per-syscall fallback on
+// platforms without recvmmsg/sendmmsg. The read loop and its semantics
+// are identical either way (batchio_test.go); only the syscall count
+// differs.
+func newBatchConn(conn *net.UDPConn) batchConn {
+	return &singleConn{conn: conn}
+}

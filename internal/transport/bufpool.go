@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// bufPool recycles receive buffers between the UDP read loop and message
+// consumers. Buffers are fixed-size (the transport's max datagram), held
+// as *[]byte so the pool round-trip itself allocates nothing, and
+// returned via Message.Release once the handler is done with the data.
+//
+// The pool is GC-safe by construction: a buffer that is never released
+// simply falls out of the sync.Pool's reach and is collected, so a
+// handler that forgets (or deliberately declines) to release leaks
+// nothing — it only forfeits reuse, which the miss counter makes visible.
+type bufPool struct {
+	size   int
+	pool   sync.Pool
+	hits   atomic.Uint64 // gets served from the pool
+	misses atomic.Uint64 // gets that had to allocate fresh
+}
+
+func newBufPool(size int) *bufPool {
+	return &bufPool{size: size}
+}
+
+// get returns a full-size buffer, recycled when one is available.
+func (p *bufPool) get() *[]byte {
+	if b, ok := p.pool.Get().(*[]byte); ok {
+		p.hits.Add(1)
+		return b
+	}
+	p.misses.Add(1)
+	b := make([]byte, p.size)
+	return &b
+}
+
+// put restores the buffer to full capacity and returns it to the pool.
+func (p *bufPool) put(b *[]byte) {
+	if b == nil || cap(*b) < p.size {
+		return // foreign or undersized buffer; let the GC have it
+	}
+	*b = (*b)[:p.size]
+	p.pool.Put(b)
+}

@@ -333,6 +333,7 @@ func (f *FaultTransport) onRecv(m Message) {
 	h := f.handler
 	f.mu.Unlock()
 	if pl.drop {
+		m.Release()
 		return
 	}
 	data := m.Data
@@ -352,6 +353,10 @@ func (f *FaultTransport) onRecv(m Message) {
 	if pl.dup {
 		deliver(data, pl.dupDelay)
 	}
+	// Every delivery path cloned the payload (and corruptCopy already
+	// copied), so the receive buffer can go back to its pool. Releasing
+	// draws nothing from the RNG: seeded replays stay bit-identical.
+	m.Release()
 }
 
 // enqueue stamps a due time and queues a delayed packet.

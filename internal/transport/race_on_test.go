@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so exact allocs/op is only meaningful
+// without it.
+const raceEnabled = true

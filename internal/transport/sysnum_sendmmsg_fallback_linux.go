@@ -1,0 +1,10 @@
+//go:build linux && !amd64 && !arm64 && !riscv64 && !loong64
+
+package transport
+
+// No sendmmsg number known for this GOARCH; WriteBatch degrades to one
+// sendto per datagram while recvmmsg batching keeps working.
+const (
+	haveSendmmsg         = false
+	sysSENDMMSG  uintptr = 0
+)

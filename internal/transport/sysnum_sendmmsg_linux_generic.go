@@ -1,0 +1,9 @@
+//go:build linux && (arm64 || riscv64 || loong64)
+
+package transport
+
+// asm-generic syscall table, inherited by every modern Linux port.
+const (
+	haveSendmmsg         = true
+	sysSENDMMSG  uintptr = 269
+)

@@ -17,13 +17,73 @@ type Message struct {
 	// From is the sender's address (zero for in-process transports that
 	// don't model addressing).
 	From netip.AddrPort
-	// Data is the packet contents. The slice is owned by the receiver.
+	// Data is the packet contents. The receiver owns the message: Data
+	// (and anything aliasing it, such as a zero-copy SAP decode) stays
+	// valid until Release is called, and a handler that keeps Data past
+	// its return must either copy it first or never call Release.
 	Data []byte
+
+	// pool and buf carry the receive buffer's provenance for transports
+	// that pool buffers (UDP). Both are nil for in-process transports,
+	// making Release a no-op there.
+	pool *bufPool
+	buf  *[]byte
+}
+
+// Release returns the message's receive buffer to the owning transport's
+// pool. The ownership contract (DESIGN.md §13):
+//
+//   - Data is valid until Release; after Release it must not be touched.
+//   - Call Release at most once, after the last use of Data.
+//   - Not calling Release is safe — the buffer falls to the garbage
+//     collector — but defeats pooling, so steady-state consumers (the
+//     directory) always release.
+//
+// Release on a message from a non-pooling transport (Bus, DES, fault
+// deliveries) is a no-op.
+func (m *Message) Release() {
+	if m.pool != nil && m.buf != nil {
+		m.pool.put(m.buf)
+		m.pool, m.buf = nil, nil
+	}
 }
 
 // Handler consumes received messages. Handlers are invoked sequentially
-// per transport; they must not block for long.
+// per transport; they must not block for long. The handler receives
+// ownership of the message — see Message.Release for the buffer
+// contract.
 type Handler func(Message)
+
+// Datagram is one outbound packet of a batch transmission.
+type Datagram struct {
+	Data  []byte
+	Scope mcast.TTL
+}
+
+// BatchSender is implemented by transports that can transmit several
+// datagrams per syscall (sendmmsg). Semantics match calling Send for
+// each datagram in order; per-datagram errors are joined.
+type BatchSender interface {
+	SendBatch(ctx context.Context, batch []Datagram) error
+}
+
+// SendAll transmits a batch through t's BatchSender fast path when it has
+// one, falling back to sequential Send calls. Decorating transports
+// (fault injection, rate limiting) deliberately do not implement
+// BatchSender: their per-packet decisions — and therefore seeded replay
+// schedules — are identical whether the caller batches or not.
+func SendAll(ctx context.Context, t Transport, batch []Datagram) error {
+	if bs, ok := t.(BatchSender); ok {
+		return bs.SendBatch(ctx, batch)
+	}
+	var errs []error
+	for _, d := range batch {
+		if err := t.Send(ctx, d.Data, d.Scope); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
 
 // Transport carries SAP datagrams between directory agents.
 type Transport interface {

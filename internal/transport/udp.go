@@ -72,33 +72,48 @@ type UDPConfig struct {
 // Oversized and runt datagrams are the transport-level malformed inputs;
 // undecodable SAP payloads are counted one layer up by the directory.
 type UDPMetrics struct {
-	Received   uint64 // datagrams accepted and handed to the handler layer
-	Oversized  uint64 // datagrams larger than MaxPacket, quarantined
-	Runts      uint64 // datagrams too short for a SAP header, quarantined
-	ReadErrors uint64 // socket read failures (each backed off before retry)
+	Received    uint64 // datagrams accepted and handed to the handler layer
+	Oversized   uint64 // datagrams larger than MaxPacket, quarantined
+	Runts       uint64 // datagrams too short for a SAP header, quarantined
+	ReadErrors  uint64 // socket read failures (each backed off before retry)
+	ReadBatches uint64 // ReadBatch calls that returned datagrams (≈ receive syscalls)
+	PoolHits    uint64 // receive buffers served from the pool
+	PoolMisses  uint64 // receive buffers freshly allocated
 }
 
 // UDPTransport sends and receives SAP datagrams over real sockets.
 type UDPTransport struct {
 	conn   *net.UDPConn
+	bc     batchConn // recvmmsg/sendmmsg on linux, singleConn elsewhere
+	pool   *bufPool  // receive buffers, returned via Message.Release
 	group  *net.UDPAddr // nil in unicast mode
 	peers  []netip.AddrPort
 	local  netip.AddrPort
 	setTTL func(int) error
 	maxPkt int
 
-	received   atomic.Uint64
-	oversized  atomic.Uint64
-	runts      atomic.Uint64
-	readErrors atomic.Uint64
+	received    atomic.Uint64
+	oversized   atomic.Uint64
+	runts       atomic.Uint64
+	readErrors  atomic.Uint64
+	readBatches atomic.Uint64
 
-	mu      sync.Mutex
-	handler Handler
-	closed  bool
-	done    chan struct{}
+	// handler is looked up lock-free once per batch; the mutex below only
+	// guards the close handshake, never the per-datagram path.
+	handler atomic.Pointer[Handler]
+	// batchSizes, when observability is enabled, records how many
+	// datagrams each receive syscall retired.
+	batchSizes atomic.Pointer[obs.Histogram]
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
 }
 
-var _ Transport = (*UDPTransport)(nil)
+var (
+	_ Transport   = (*UDPTransport)(nil)
+	_ BatchSender = (*UDPTransport)(nil)
+)
 
 // NewUDP opens a UDP transport. With Peers set it uses unicast fan-out;
 // otherwise it joins the multicast group (which requires a multicast-
@@ -132,12 +147,37 @@ func (t *UDPTransport) registerObs(r *obs.Registry) error {
 		{"udp_oversized_total", "datagrams larger than MaxPacket, quarantined", &t.oversized},
 		{"udp_runts_total", "datagrams too short for a SAP header, quarantined", &t.runts},
 		{"udp_read_errors_total", "socket read failures, each backed off before retry", &t.readErrors},
+		{"udp_read_batches_total", "receive syscalls that returned datagrams (batched reads)", &t.readBatches},
+		{"udp_rx_pool_hits_total", "receive buffers served from the pool", &t.pool.hits},
+		{"udp_rx_pool_misses_total", "receive buffers freshly allocated on pool miss", &t.pool.misses},
 	}
 	for _, v := range views {
 		if err := r.CounterFunc(v.name, v.help, v.src.Load); err != nil {
 			return fmt.Errorf("transport: %w", err)
 		}
 	}
+	// Syscalls saved by batching: datagrams delivered minus kernel
+	// crossings used to deliver them (zero on the portable 1:1 fallback).
+	err := r.CounterFunc("udp_batch_syscalls_saved_total",
+		"receive syscalls avoided by recvmmsg batching (received - read batches)",
+		func() uint64 {
+			rcv, batches := t.received.Load(), t.readBatches.Load()
+			if rcv <= batches {
+				return 0
+			}
+			return rcv - batches
+		})
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	// Per-syscall batch size distribution; bounds cover 1..readBatchSize.
+	hist, err := r.Histogram("udp_read_batch_size",
+		"datagrams retired per receive syscall",
+		[]int64{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	t.batchSizes.Store(hist)
 	return nil
 }
 
@@ -168,10 +208,24 @@ func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		maxPkt: maxPacket(cfg),
 		done:   make(chan struct{}),
 	}
-	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	t.initIO()
 	go t.readLoop()
 	return t, nil
 }
+
+// initIO sets up the batched I/O path: the buffer pool (one spare byte
+// past the cap distinguishes "exactly MaxPacket" from "kernel truncated
+// something larger") and the platform batchConn.
+func (t *UDPTransport) initIO() {
+	t.pool = newBufPool(t.maxPkt + 1)
+	t.bc = newBatchConnFn(t.conn)
+	t.local = t.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+// newBatchConnFn is the batchConn constructor, a variable so the
+// conformance tests and benchmarks can pin a transport to the portable
+// singleConn path and compare it against the platform default.
+var newBatchConnFn = newBatchConn
 
 func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 	group := cfg.Group
@@ -196,25 +250,33 @@ func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		maxPkt: maxPacket(cfg),
 		done:   make(chan struct{}),
 	}
-	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
 	t.setTTL = func(ttl int) error {
 		return setMulticastTTL(conn, ttl)
 	}
+	t.initIO()
 	go t.readLoop()
 	return t, nil
 }
 
+// readLoop drains the socket through the batchConn: one blocking call
+// retires up to readBatchSize datagrams (a single recvmmsg on linux),
+// each handed to the handler in its pooled receive buffer with no copy.
+// The slot's buffer is immediately replaced from the pool, so the
+// handler owns what it was given until it calls Message.Release. The
+// loop body takes no locks: the handler pointer is an atomic load once
+// per batch, and all counters are atomics.
 func (t *UDPTransport) readLoop() {
-	// One spare byte past the cap distinguishes "exactly MaxPacket" from
-	// "kernel truncated something larger".
-	buf := make([]byte, t.maxPkt+1)
+	slots := make([]rxSlot, readBatchSize)
+	for i := range slots {
+		slots[i].buf = t.pool.get()
+	}
 	// The jitter source is deterministic (seeded from the local port) per
 	// the detrand rule; jitter only needs to decorrelate daemons, and
 	// distinct sockets get distinct ports, hence distinct streams.
 	rng := stats.NewRNG(uint64(t.local.Port()) + 1)
 	backoff := time.Duration(0)
 	for {
-		n, addr, err := t.conn.ReadFromUDP(buf)
+		n, err := t.bc.ReadBatch(slots)
 		if err != nil {
 			select {
 			case <-t.done:
@@ -233,24 +295,28 @@ func (t *UDPTransport) readLoop() {
 			continue
 		}
 		backoff = 0
-		switch {
-		case n > t.maxPkt:
-			t.oversized.Add(1)
-			continue
-		case n < minDatagram:
-			t.runts.Add(1)
-			continue
+		t.readBatches.Add(1)
+		if hist := t.batchSizes.Load(); hist != nil {
+			hist.Observe(int64(n))
 		}
-		t.received.Add(1)
-		t.mu.Lock()
-		h := t.handler
-		t.mu.Unlock()
-		if h == nil {
-			continue
+		h := t.handler.Load()
+		for i := 0; i < n; i++ {
+			s := &slots[i]
+			switch {
+			case s.n > t.maxPkt:
+				t.oversized.Add(1)
+				continue
+			case s.n < minDatagram:
+				t.runts.Add(1)
+				continue
+			}
+			t.received.Add(1)
+			if h == nil {
+				continue // nobody listening; reuse the slot buffer in place
+			}
+			(*h)(Message{From: s.from, Data: (*s.buf)[:s.n], pool: t.pool, buf: s.buf})
+			s.buf = t.pool.get() // ownership moved to the handler
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		h(Message{From: addr.AddrPort(), Data: data})
 	}
 }
 
@@ -277,10 +343,13 @@ func nextReadBackoff(cur time.Duration, rng *stats.RNG) time.Duration {
 // Metrics returns a snapshot of the read loop's counters.
 func (t *UDPTransport) Metrics() UDPMetrics {
 	return UDPMetrics{
-		Received:   t.received.Load(),
-		Oversized:  t.oversized.Load(),
-		Runts:      t.runts.Load(),
-		ReadErrors: t.readErrors.Load(),
+		Received:    t.received.Load(),
+		Oversized:   t.oversized.Load(),
+		Runts:       t.runts.Load(),
+		ReadErrors:  t.readErrors.Load(),
+		ReadBatches: t.readBatches.Load(),
+		PoolHits:    t.pool.hits.Load(),
+		PoolMisses:  t.pool.misses.Load(),
 	}
 }
 
@@ -319,11 +388,70 @@ func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) e
 	return errors.Join(errs...)
 }
 
-// Subscribe implements Transport.
-func (t *UDPTransport) Subscribe(h Handler) {
+// SendBatch implements BatchSender: semantically k Sends, but runs of
+// same-scope datagrams share one TTL sockopt and go out in a single
+// sendmmsg on linux. In unicast mode every datagram fans out to every
+// peer in one batch. The data slices are not retained.
+func (t *UDPTransport) SendBatch(ctx context.Context, batch []Datagram) error {
+	if len(batch) == 0 {
+		return nil
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.handler = h
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := t.conn.SetWriteDeadline(dl); err != nil {
+			return fmt.Errorf("transport: set deadline: %w", err)
+		}
+		defer func() { _ = t.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
+	}
+	if t.group == nil {
+		// Unicast fan-out: batch × peers, errors joined like Send's loop.
+		pkts := make([]txPkt, 0, len(batch)*len(t.peers))
+		for _, d := range batch {
+			for _, p := range t.peers {
+				pkts = append(pkts, txPkt{data: d.Data, to: p})
+			}
+		}
+		return t.bc.WriteBatch(pkts)
+	}
+	group := t.group.AddrPort()
+	pkts := make([]txPkt, 0, len(batch))
+	var errs []error
+	for i := 0; i < len(batch); {
+		// TTL is a socket option, so a batch can only share a syscall
+		// while the scope holds; split at each scope change.
+		j := i
+		for j < len(batch) && batch[j].Scope == batch[i].Scope {
+			j++
+		}
+		if err := t.setTTL(int(batch[i].Scope)); err != nil {
+			return fmt.Errorf("transport: set TTL: %w", err)
+		}
+		pkts = pkts[:0]
+		for _, d := range batch[i:j] {
+			pkts = append(pkts, txPkt{data: d.Data, to: group})
+		}
+		if err := t.bc.WriteBatch(pkts); err != nil {
+			errs = append(errs, err)
+		}
+		i = j
+	}
+	return errors.Join(errs...)
+}
+
+// Subscribe implements Transport. The handler is published through an
+// atomic pointer; the read loop observes a replacement at its next
+// batch boundary.
+func (t *UDPTransport) Subscribe(h Handler) {
+	if h == nil {
+		t.handler.Store(nil)
+		return
+	}
+	t.handler.Store(&h)
 }
 
 // LocalAddr implements Transport.
@@ -337,8 +465,8 @@ func (t *UDPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	t.handler = nil
 	close(t.done)
 	t.mu.Unlock()
+	t.handler.Store(nil)
 	return t.conn.Close()
 }
