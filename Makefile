@@ -19,12 +19,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# The determinism & concurrency gate: runs mclint's analyzers (detrand,
-# maporder, lockscope, errdrop, metricname) over the module. Nonzero
-# exit on any
-# finding; see DESIGN.md §9 for the rules and the waiver syntax.
+# The determinism, concurrency & ownership gate: runs every analyzer
+# registered in internal/analysis (detrand, maporder, lockscope,
+# looplock, errdrop, metricname, buflease, atomicfield) over the module
+# — new analyzers are picked up automatically. Nonzero exit on any
+# finding; see DESIGN.md §9 and §14 for the rules and the waiver syntax.
+# LINTFLAGS passes extra mclint flags through (CI uses
+# LINTFLAGS=-format=github for inline PR annotations).
 lint:
-	$(GO) run ./cmd/mclint
+	$(GO) run ./cmd/mclint $(LINTFLAGS)
 
 # Machine-readable diagnostics for tooling (JSON array on stdout).
 lint-json:

@@ -45,6 +45,7 @@ import (
 	"sessiondir/internal/experiments"
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/obs"
+	"sessiondir/internal/sap"
 	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
 	"sessiondir/internal/transport"
@@ -184,7 +185,70 @@ func microBenches() []microBenchResult {
 			BatchDepth:   res.BatchDepth(),
 		})
 	}
+
+	// SAP decode micros: the aliasing zero-copy decode (what the receive
+	// path runs per datagram) against the copying variant retained-packet
+	// callers use. The wire sample is a realistic sdr announcement with an
+	// explicit application/sdp payload type, so the zero-copy number
+	// exercises the payload-type interning too.
+	sdpWire := sampleSAPWire()
+	decodeCases := []struct {
+		name   string
+		decode func(p *sap.Packet, data []byte) error
+	}{
+		{"SAPDecodeZeroCopy", (*sap.Packet).Decode},
+		{"SAPDecodeLegacy", (*sap.Packet).DecodeCopy},
+	}
+	for _, c := range decodeCases {
+		c := c
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var p sap.Packet
+			for i := 0; i < b.N; i++ {
+				if err := c.decode(&p, sdpWire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, microBenchResult{
+			Name:     c.name,
+			NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsOp: res.AllocsPerOp(),
+			BytesOp:  res.AllocedBytesPerOp(),
+		})
+	}
 	return out
+}
+
+// sampleSAPWire marshals a representative SDP announcement for the decode
+// micros, with the payload type spelled out on the wire (the interning
+// fast path the zero-alloc budget pins).
+func sampleSAPWire() []byte {
+	desc := &session.Description{
+		ID:      4711,
+		Version: 3,
+		Origin:  netip.MustParseAddr("10.1.2.3"),
+		Name:    "mcbench decode sample",
+		Group:   netip.MustParseAddr("224.2.128.99"),
+		TTL:     127,
+		Media:   []session.Media{{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"}},
+	}
+	payload, err := desc.MarshalSDP()
+	if err != nil {
+		panic(err)
+	}
+	pkt := sap.Packet{
+		Type:        sap.Announce,
+		MsgIDHash:   sap.MsgIDHashOf(payload),
+		Origin:      desc.Origin,
+		PayloadType: sap.PayloadTypeSDP,
+		Payload:     payload,
+	}
+	wire, err := pkt.Marshal(nil)
+	if err != nil {
+		panic(err)
+	}
+	return wire
 }
 
 // budgetFailures enforces the absolute perf budgets on a fresh report —
@@ -194,6 +258,8 @@ func microBenches() []microBenchResult {
 //
 //   - batched Hybrid allocation under 1µs per address at batch 16;
 //   - zero steady-state allocations per received datagram;
+//   - zero allocations per zero-copy SAP decode (the aliasing Decode the
+//     receive path runs on every datagram);
 //   - on linux, ≥10 datagrams retired per receive syscall (recvmmsg
 //     amortization) and the batched drain at least as fast per datagram
 //     as the frozen pre-batching baseline.
@@ -207,6 +273,11 @@ func budgetFailures(r benchReport) []string {
 		fails = append(fails, "budget: micro AllocateHybridBatch16 missing from report")
 	} else if m.NsPerOp >= 1000 {
 		fails = append(fails, fmt.Sprintf("budget: AllocateHybridBatch16 %.0f ns/address, budget < 1000", m.NsPerOp))
+	}
+	if m, ok := micro["SAPDecodeZeroCopy"]; !ok {
+		fails = append(fails, "budget: micro SAPDecodeZeroCopy missing from report")
+	} else if m.AllocsOp != 0 {
+		fails = append(fails, fmt.Sprintf("budget: SAPDecodeZeroCopy %d allocs/op, budget 0", m.AllocsOp))
 	}
 	batch, haveBatch := micro["UDPRecvBatch"]
 	if !haveBatch {

@@ -105,6 +105,7 @@ func TestRunCompareInjected2xSlowdown(t *testing.T) {
 	// budgets stay quiet and only the injected slowdown drives the gate.
 	if err := os.WriteFile(newPath, []byte(`{"figures":[{"id":"fig5","wall_ms":2100}],"micro":[
 		{"name":"AllocateHybridBatch16","ns_per_op":400},
+		{"name":"SAPDecodeZeroCopy","ns_per_op":40,"allocs_per_op":0},
 		{"name":"UDPRecvBatch","ns_per_op":450,"allocs_per_op":0}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -123,6 +124,8 @@ func budgetReport() benchReport {
 		GOOS: "linux",
 		Micro: []microBenchResult{
 			{Name: "AllocateHybridBatch16", NsPerOp: 400},
+			{Name: "SAPDecodeZeroCopy", NsPerOp: 40, AllocsOp: 0},
+			{Name: "SAPDecodeLegacy", NsPerOp: 100, AllocsOp: 1, BytesOp: 128},
 			{Name: "UDPRecvLegacy", NsPerOp: 800, AllocsOp: 2, DgramsPerSec: 1.2e6, BatchDepth: 1},
 			{Name: "UDPRecvBatch", NsPerOp: 450, AllocsOp: 0, DgramsPerSec: 2.2e6, BatchDepth: 30},
 		},
@@ -145,15 +148,23 @@ func TestBudgetFailuresHybridBatchTooSlow(t *testing.T) {
 
 func TestBudgetFailuresAllocRegression(t *testing.T) {
 	r := budgetReport()
-	r.Micro[2].AllocsOp = 1 // steady-state receive must stay at zero
+	r.Micro[4].AllocsOp = 1 // steady-state receive must stay at zero
 	if fails := budgetFailures(r); len(fails) != 1 {
 		t.Fatalf("alloc regression not caught: %v", fails)
 	}
 }
 
+func TestBudgetFailuresDecodeAllocRegression(t *testing.T) {
+	r := budgetReport()
+	r.Micro[1].AllocsOp = 1 // zero-copy SAP decode must stay at zero
+	if fails := budgetFailures(r); len(fails) != 1 {
+		t.Fatalf("decode alloc regression not caught: %v", fails)
+	}
+}
+
 func TestBudgetFailuresBatchDepthCollapse(t *testing.T) {
 	r := budgetReport()
-	r.Micro[2].BatchDepth = 1 // recvmmsg silently degraded to 1:1
+	r.Micro[4].BatchDepth = 1 // recvmmsg silently degraded to 1:1
 	if fails := budgetFailures(r); len(fails) != 1 {
 		t.Fatalf("batch-depth collapse not caught: %v", fails)
 	}
@@ -162,16 +173,16 @@ func TestBudgetFailuresBatchDepthCollapse(t *testing.T) {
 func TestBudgetFailuresMissingMicros(t *testing.T) {
 	r := budgetReport()
 	r.Micro = nil
-	if fails := budgetFailures(r); len(fails) != 2 {
-		t.Fatalf("missing micros should produce two failures, got: %v", fails)
+	if fails := budgetFailures(r); len(fails) != 3 {
+		t.Fatalf("missing micros should produce three failures, got: %v", fails)
 	}
 }
 
 func TestBudgetFailuresDepthGateLinuxOnly(t *testing.T) {
 	r := budgetReport()
 	r.GOOS = "darwin"
-	r.Micro[2].BatchDepth = 1 // fine off linux: no recvmmsg there
-	r.Micro[2].NsPerOp = 900  // and no mandated speedup either
+	r.Micro[4].BatchDepth = 1 // fine off linux: no recvmmsg there
+	r.Micro[4].NsPerOp = 900  // and no mandated speedup either
 	if fails := budgetFailures(r); len(fails) != 0 {
 		t.Fatalf("non-linux report held to linux-only gates: %v", fails)
 	}

@@ -13,15 +13,16 @@ func TestSelect(t *testing.T) {
 		wantNames  []string
 		wantErr    bool
 	}{
-		{"", "", []string{"detrand", "maporder", "lockscope", "looplock", "errdrop", "metricname"}, false},
+		{"", "", []string{"detrand", "maporder", "lockscope", "looplock", "errdrop", "metricname", "buflease", "atomicfield"}, false},
 		{"detrand", "", []string{"detrand"}, false},
 		{"maporder,errdrop", "", []string{"maporder", "errdrop"}, false},
-		{"", "errdrop", []string{"detrand", "maporder", "lockscope", "looplock", "metricname"}, false},
-		{"", "detrand, maporder", []string{"lockscope", "looplock", "errdrop", "metricname"}, false},
+		{"buflease,atomicfield", "", []string{"buflease", "atomicfield"}, false},
+		{"", "errdrop", []string{"detrand", "maporder", "lockscope", "looplock", "metricname", "buflease", "atomicfield"}, false},
+		{"", "detrand, maporder", []string{"lockscope", "looplock", "errdrop", "metricname", "buflease", "atomicfield"}, false},
 		{"nosuch", "", nil, true},
 		{"", "nosuch", nil, true},
-		{"detrand", "errdrop", nil, true},                                // -only and -skip are exclusive
-		{"", "detrand,maporder,lockscope,looplock,errdrop,metricname", nil, true}, // empty selection
+		{"detrand", "errdrop", nil, true}, // -only and -skip are exclusive
+		{"", "detrand,maporder,lockscope,looplock,errdrop,metricname,buflease,atomicfield", nil, true}, // empty selection
 	}
 	for _, c := range cases {
 		got, err := Select(c.only, c.skip)

@@ -1,0 +1,13 @@
+package analysis
+
+import "testing"
+
+func TestAtomicFieldFixture(t *testing.T) {
+	diags := runFixture(t, "atomicfield", AtomicField)
+	// Two mixed-access findings on hits, one wrapper copy on total; the
+	// pre-publication init is waived.
+	const want = 3
+	if len(diags) != want {
+		t.Errorf("got %d diagnostics, want %d:\n%s", len(diags), want, diagnosticSummary(diags))
+	}
+}

@@ -1,0 +1,763 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BufLease machine-checks the transport.Message buffer-ownership
+// contract (DESIGN.md §13): a received message's Data points into a
+// pooled receive buffer that stays valid only until Message.Release.
+// The contract is pure convention — nothing at runtime stops a handler
+// from stashing a slice of Data and reading it after the buffer has
+// been re-issued to the read loop — so this analyzer turns it into a
+// machine-checked invariant, the precondition for the zero-copy SAP
+// decode path that aliases the receive buffer.
+//
+// Per function (declarations and literals alike, each with its own
+// CFG), the analysis runs a forward dataflow over message variables
+// and the []byte values that may alias their Data — through plain
+// assignments, slicing, and range bindings; string(...) and []byte
+// conversions, copy, and append-spread are copies and break aliasing.
+// It reports:
+//
+//   - use after Release: Data (or an alias of it) touched on a path
+//     where Release has definitely or possibly already run;
+//   - double Release: a second Release reached, including "possible"
+//     variants where only some converging paths released (deferred
+//     Releases are applied at each return);
+//   - skipped Release: a return path that does not release a message
+//     the function releases on other paths — the early-return error
+//     leak. Functions that never call Release make no promise and are
+//     not checked (not releasing is legal: the buffer falls to the GC);
+//   - escaping aliases: Data aliases stored to fields, globals, or
+//     channels, returned, or captured by a go statement, in a function
+//     that also Releases the message — retention and release together
+//     are a use-after-free in the making; copy the bytes first.
+//
+// Known over-approximations (DESIGN.md §14): the analysis is
+// intraprocedural — passing an alias to a callee that retains it (a
+// decode, say) is not tracked, and a message value copied into a second
+// variable is tracked as an independent cell. Deliberate exceptions
+// carry an //mclint:buflease waiver with the justification.
+var BufLease = &Analyzer{
+	Name: "buflease",
+	Doc: "enforce the transport.Message Release ownership contract: no use " +
+		"after Release, no double or skipped Release, no escaping Data aliases",
+	Packages: []string{
+		"sessiondir",
+		"sessiondir/internal/transport",
+		"sessiondir/internal/chaos",
+		"sessiondir/internal/des",
+		"sessiondir/examples/sapdump",
+	},
+	Run: runBufLease,
+}
+
+// Message cell status bits. A cell's abstract value is the set of
+// conditions the buffer may be in on some path reaching this point.
+const (
+	stLive     uint8 = 1 << iota // owned here, not yet released
+	stReleased                   // Release has run
+	stEscaped                    // ownership handed away (call arg, store, return)
+)
+
+func runBufLease(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzeBufLease(pass, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzeBufLease(pass, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// blState is the abstract state: message cells with status bits, alias
+// variables with their may-point-to cell sets, and the must-run
+// deferred Releases registered so far.
+type blState struct {
+	msg    map[types.Object]uint8
+	alias  map[types.Object]map[types.Object]bool
+	defers []deferredRelease
+}
+
+type deferredRelease struct {
+	cell types.Object
+	pos  token.Pos
+}
+
+// blLattice joins states pointwise: status bits union, alias sets
+// union, deferred Releases intersect (a defer registered on only one
+// incoming path is not guaranteed to run).
+type blLattice struct{}
+
+func (blLattice) Clone(s *blState) *blState {
+	c := &blState{
+		msg:    make(map[types.Object]uint8, len(s.msg)),
+		alias:  make(map[types.Object]map[types.Object]bool, len(s.alias)),
+		defers: append([]deferredRelease(nil), s.defers...),
+	}
+	for k, v := range s.msg {
+		c.msg[k] = v
+	}
+	for k, set := range s.alias {
+		cs := make(map[types.Object]bool, len(set))
+		for cell := range set {
+			cs[cell] = true
+		}
+		c.alias[k] = cs
+	}
+	return c
+}
+
+func (l blLattice) Join(a, b *blState) *blState {
+	j := l.Clone(a)
+	for k, v := range b.msg {
+		j.msg[k] |= v
+	}
+	for k, set := range b.alias {
+		dst := j.alias[k]
+		if dst == nil {
+			dst = make(map[types.Object]bool, len(set))
+			j.alias[k] = dst
+		}
+		for cell := range set {
+			dst[cell] = true
+		}
+	}
+	j.defers = intersectDefers(a.defers, b.defers)
+	return j
+}
+
+func (blLattice) Equal(a, b *blState) bool {
+	if len(a.msg) != len(b.msg) || len(a.alias) != len(b.alias) || len(a.defers) != len(b.defers) {
+		return false
+	}
+	for k, v := range a.msg {
+		if b.msg[k] != v {
+			return false
+		}
+	}
+	for k, set := range a.alias {
+		bset, ok := b.alias[k]
+		if !ok || len(bset) != len(set) {
+			return false
+		}
+		for cell := range set {
+			if !bset[cell] {
+				return false
+			}
+		}
+	}
+	for i, d := range a.defers {
+		if b.defers[i].cell != d.cell {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectDefers(a, b []deferredRelease) []deferredRelease {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	inB := map[types.Object]bool{}
+	for _, d := range b {
+		inB[d.cell] = true
+	}
+	var out []deferredRelease
+	for _, d := range a {
+		if inB[d.cell] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// bufleaseFn analyzes one function body.
+type bufleaseFn struct {
+	pass *Pass
+	// releases marks message cells Released anywhere in the body
+	// (including nested literals): the function's ownership promise.
+	// Escape and skipped-Release findings only apply to promising
+	// functions — a handler that never releases keeps the buffer alive
+	// by construction.
+	releases map[types.Object]bool
+	report   bool
+	seen     map[string]bool // dedup: defer-application reports repeat per return path
+}
+
+func analyzeBufLease(pass *Pass, typ *ast.FuncType, body *ast.BlockStmt) {
+	a := &bufleaseFn{
+		pass:     pass,
+		releases: map[types.Object]bool{},
+		seen:     map[string]bool{},
+	}
+	// Ownership promise pre-scan (syntactic, includes nested literals:
+	// a closure releasing the message still ends the buffer's life).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if cell, ok := a.releaseCall(call); ok {
+				a.releases[cell] = true
+			}
+		}
+		return true
+	})
+
+	entry := &blState{msg: map[types.Object]uint8{}, alias: map[types.Object]map[types.Object]bool{}}
+	if typ != nil && typ.Params != nil {
+		for _, field := range typ.Params.List {
+			for _, name := range field.Names {
+				if obj := a.pass.Info.ObjectOf(name); obj != nil && isMessageType(obj.Type()) {
+					entry.msg[obj] = stLive
+				}
+			}
+		}
+	}
+
+	cfg := BuildCFG(body)
+	lat := blLattice{}
+	res := Forward(cfg, Lattice[*blState](lat), entry, func(s *blState, n ast.Node) *blState {
+		a.transfer(s, n)
+		return s
+	})
+	a.report = true
+	Replay(cfg, Lattice[*blState](lat), res, func(s *blState, n ast.Node) *blState {
+		a.transfer(s, n)
+		return s
+	})
+}
+
+func (a *bufleaseFn) reportf(pos token.Pos, format string, args ...any) {
+	if !a.report {
+		return
+	}
+	p := a.pass.Fset.Position(pos)
+	key := p.String() + format
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.pass.Reportf(pos, format, args...)
+}
+
+// transfer interprets one CFG node, mutating s.
+func (a *bufleaseFn) transfer(s *blState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			a.eval(s, rhs)
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				a.assign(s, n.Lhs[i], n.Rhs[i])
+			}
+		} else {
+			// Tuple assignment from a call: results are fresh values.
+			for _, lhs := range n.Lhs {
+				a.clobber(s, lhs)
+			}
+		}
+
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					a.eval(s, v)
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						a.assign(s, vs.Names[i], vs.Values[i])
+					}
+				}
+			}
+		}
+
+	case *ast.ExprStmt:
+		a.eval(s, n.X)
+
+	case *ast.IncDecStmt:
+		a.eval(s, n.X)
+
+	case *ast.SendStmt:
+		a.eval(s, n.Chan)
+		a.eval(s, n.Value)
+		a.escapeCheck(s, n.Value, "sent on a channel")
+
+	case *ast.DeferStmt:
+		if cell, ok := a.releaseCall(n.Call); ok {
+			s.defers = append(s.defers, deferredRelease{cell: cell, pos: n.Call.Pos()})
+			return
+		}
+		// Arguments of any deferred call evaluate now.
+		for _, arg := range n.Call.Args {
+			a.eval(s, arg)
+		}
+
+	case *ast.GoStmt:
+		for _, arg := range n.Call.Args {
+			a.eval(s, arg)
+			a.escapeCheck(s, arg, "passed to a goroutine")
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			a.captureCheck(s, lit)
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			a.eval(s, r)
+			a.escapeCheck(s, r, "returned")
+			if cell, ok := a.messageVar(r); ok {
+				s.msg[cell] = s.msg[cell]&^stLive | stEscaped
+			}
+		}
+		a.applyDefers(s)
+		a.leakCheck(s, n.Pos())
+
+	case *ast.BlockStmt:
+		// The implicit-return sentinel (see BuildCFG): the function
+		// falls off the end of this body.
+		a.applyDefers(s)
+		a.leakCheck(s, n.Rbrace)
+
+	case *ast.RangeStmt:
+		// Per-iteration bindings. Ranging over a [][]byte of aliases
+		// binds the value variable to the same cells; a range over
+		// []transport.Message rebinds the loop variable to a fresh live
+		// message each iteration (so releasing it inside the body is
+		// not a double Release across the back edge).
+		cells := a.aliasCells(s, n.X)
+		for _, bind := range []ast.Expr{n.Key, n.Value} {
+			id, ok := bind.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := a.pass.Info.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isMessageType(obj.Type()):
+				// Drop the cell entirely: the body's first touch makes
+				// it live again (see status), and the loop-exit edge
+				// carries no stale obligation for a variable that only
+				// exists per iteration.
+				delete(s.msg, obj)
+			case isByteSlice(obj.Type()) && len(cells) > 0:
+				s.alias[obj] = copyCells(cells)
+			default:
+				delete(s.alias, obj)
+			}
+		}
+
+	case ast.Expr:
+		a.eval(s, n)
+	}
+}
+
+// assign interprets one lhs = rhs binding after rhs has been evaluated.
+func (a *bufleaseFn) assign(s *blState, lhs, rhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := a.pass.Info.ObjectOf(id)
+		if obj == nil || id.Name == "_" {
+			return
+		}
+		if a.pass.Pkg != nil && obj.Parent() == a.pass.Pkg.Scope() {
+			// Assignment to a package-level variable leaves the frame
+			// just like a field store.
+			a.escapeCheck(s, rhs, "stored in a package-level variable")
+			if cell, ok := a.messageVar(rhs); ok {
+				s.msg[cell] = a.status(s, cell)&^stLive | stEscaped
+			}
+			return
+		}
+		if isMessageType(obj.Type()) {
+			if src, ok := a.messageVar(rhs); ok {
+				// A message copy shares the buffer; tracked as an
+				// independent cell with the source's current status
+				// (documented over-approximation).
+				s.msg[obj] = a.status(s, src)
+			} else {
+				s.msg[obj] = stLive
+			}
+			return
+		}
+		if cells := a.aliasCells(s, rhs); len(cells) > 0 {
+			s.alias[obj] = copyCells(cells)
+		} else {
+			delete(s.alias, obj)
+		}
+		return
+	}
+	// Store through a selector, index, or dereference: the value
+	// outlives this function's frame as far as we can tell.
+	a.escapeCheck(s, rhs, "stored outside the handler frame")
+	if cell, ok := a.messageVar(rhs); ok {
+		s.msg[cell] = a.status(s, cell)&^stLive | stEscaped
+	}
+}
+
+func (a *bufleaseFn) clobber(s *blState, lhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := a.pass.Info.ObjectOf(id); obj != nil {
+			delete(s.alias, obj)
+			if isMessageType(obj.Type()) {
+				s.msg[obj] = stLive
+			}
+		}
+	}
+}
+
+// eval walks an expression in evaluation order: use-checks aliases and
+// Data selectors, interprets Release calls, and treats message values
+// passed to calls as ownership transfers. Function literal bodies are
+// skipped — they run later and are analyzed separately.
+func (a *bufleaseFn) eval(s *blState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		return
+
+	case *ast.Ident:
+		if set, ok := s.alias[a.pass.Info.ObjectOf(e)]; ok {
+			for cell := range set {
+				a.useCheck(s, cell, e.Pos(), "alias of "+cell.Name()+".Data")
+			}
+		}
+
+	case *ast.SelectorExpr:
+		if cell, ok := a.messageVar(e.X); ok {
+			if e.Sel.Name == "Data" {
+				a.useCheck(s, cell, e.Pos(), cell.Name()+".Data")
+			}
+			return // other fields (From) carry no buffer
+		}
+		a.eval(s, e.X)
+
+	case *ast.CallExpr:
+		a.evalCall(s, e)
+
+	case *ast.ParenExpr:
+		a.eval(s, e.X)
+
+	case *ast.StarExpr:
+		a.eval(s, e.X)
+
+	case *ast.UnaryExpr:
+		a.eval(s, e.X)
+
+	case *ast.BinaryExpr:
+		a.eval(s, e.X)
+		a.eval(s, e.Y)
+
+	case *ast.IndexExpr:
+		a.eval(s, e.X)
+		a.eval(s, e.Index)
+
+	case *ast.SliceExpr:
+		a.eval(s, e.X)
+		a.eval(s, e.Low)
+		a.eval(s, e.High)
+		a.eval(s, e.Max)
+
+	case *ast.TypeAssertExpr:
+		a.eval(s, e.X)
+
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				a.eval(s, kv.Value)
+				continue
+			}
+			a.eval(s, el)
+		}
+
+	case *ast.KeyValueExpr:
+		a.eval(s, e.Value)
+	}
+}
+
+func (a *bufleaseFn) evalCall(s *blState, call *ast.CallExpr) {
+	// Release on a message: the ownership event itself.
+	if cell, ok := a.releaseCall(call); ok {
+		st := a.status(s, cell)
+		switch {
+		case st&stReleased != 0 && st&stLive != 0:
+			a.reportf(call.Pos(),
+				"possible double Release of %s: already released on a converging path", cell.Name())
+		case st&stReleased != 0:
+			a.reportf(call.Pos(), "double Release of %s", cell.Name())
+		}
+		s.msg[cell] = stReleased
+		return
+	}
+	// Conversions (string(x), []byte(x), T(x)) copy or rewrap; they are
+	// not calls and transfer no ownership.
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, arg := range call.Args {
+			a.eval(s, arg)
+		}
+		return
+	}
+	a.eval(s, call.Fun)
+	for _, arg := range call.Args {
+		a.eval(s, arg)
+		if cell, ok := a.messageVar(arg); ok {
+			// Passing the message itself may transfer ownership: the
+			// callee can release or retain it. Clear the leak
+			// obligation but keep the release history for
+			// use-after-Release checks.
+			s.msg[cell] = a.status(s, cell)&^stLive | stEscaped
+		}
+	}
+}
+
+// useCheck reports touching a buffer whose message may already have
+// been released.
+func (a *bufleaseFn) useCheck(s *blState, cell types.Object, pos token.Pos, what string) {
+	st := a.status(s, cell)
+	switch {
+	case st&stReleased != 0 && st&(stLive|stEscaped) != 0:
+		a.reportf(pos, "%s may be used after Release (released on some paths); copy before releasing or waive with //mclint:buflease", what)
+	case st&stReleased != 0:
+		a.reportf(pos, "%s used after Release; the buffer may already be back in the pool", what)
+	}
+}
+
+// escapeCheck reports an alias of a released message's Data leaving the
+// frame. Only functions that Release the message make that a hazard.
+func (a *bufleaseFn) escapeCheck(s *blState, e ast.Expr, how string) {
+	cells := a.aliasCells(s, e)
+	if len(cells) == 0 {
+		return
+	}
+	for _, cell := range sortedCells(cells) {
+		if a.releases[cell] {
+			a.reportf(e.Pos(),
+				"alias of %s.Data %s while %s is Released in this function; copy the bytes first",
+				cell.Name(), how, cell.Name())
+		}
+	}
+}
+
+// captureCheck reports a go-routine literal capturing message state by
+// reference when the enclosing function releases the buffer.
+func (a *bufleaseFn) captureCheck(s *blState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := a.pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if set, ok := s.alias[obj]; ok {
+			for _, cell := range sortedCells(set) {
+				if a.releases[cell] {
+					a.reportf(id.Pos(),
+						"goroutine captures alias of %s.Data while %s is Released in this function; copy the bytes first",
+						cell.Name(), cell.Name())
+				}
+			}
+		}
+		if isMessageType(obj.Type()) && a.releases[obj] {
+			a.reportf(id.Pos(),
+				"goroutine captures message %s while it is Released in this function; copy m.Data first",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+// applyDefers runs the registered deferred Releases (in reverse
+// registration order, as the runtime would).
+func (a *bufleaseFn) applyDefers(s *blState) {
+	for i := len(s.defers) - 1; i >= 0; i-- {
+		d := s.defers[i]
+		st := a.status(s, d.cell)
+		switch {
+		case st&stReleased != 0 && st&stLive != 0:
+			a.reportf(d.pos,
+				"possible double Release of %s: deferred Release runs after an explicit Release on a converging path", d.cell.Name())
+		case st&stReleased != 0:
+			a.reportf(d.pos, "double Release of %s: deferred Release runs after an explicit Release", d.cell.Name())
+		}
+		s.msg[d.cell] = stReleased
+	}
+}
+
+// leakCheck fires at each function exit: a message this function
+// promises to release (Release appears somewhere in the body) must not
+// still be live here.
+func (a *bufleaseFn) leakCheck(s *blState, pos token.Pos) {
+	for _, cell := range sortedMsgCells(s.msg) {
+		st := s.msg[cell]
+		if !a.releases[cell] || st&stLive == 0 || st&stEscaped != 0 {
+			continue
+		}
+		if st&stReleased != 0 {
+			a.reportf(pos,
+				"%s.Release() may be skipped on this return path (released on other paths)", cell.Name())
+		} else {
+			a.reportf(pos,
+				"%s.Release() is skipped on this return path but called on others; release on every path or none", cell.Name())
+		}
+	}
+}
+
+// status reads a cell's bits, treating a first touch of an
+// outer-scope message variable (free variable in a closure) as live.
+func (a *bufleaseFn) status(s *blState, cell types.Object) uint8 {
+	if st, ok := s.msg[cell]; ok {
+		return st
+	}
+	s.msg[cell] = stLive
+	return stLive
+}
+
+// messageVar matches an identifier (possibly &ident or parenthesized)
+// denoting a variable of type transport.Message or *transport.Message.
+func (a *bufleaseFn) messageVar(e ast.Expr) (types.Object, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return a.messageVar(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return a.messageVar(e.X)
+		}
+	case *ast.StarExpr:
+		return a.messageVar(e.X)
+	case *ast.Ident:
+		obj := a.pass.Info.ObjectOf(e)
+		if obj != nil && isMessageType(obj.Type()) {
+			return obj, true
+		}
+	}
+	return nil, false
+}
+
+// releaseCall matches m.Release() on a message variable.
+func (a *bufleaseFn) releaseCall(call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" || len(call.Args) != 0 {
+		return nil, false
+	}
+	return a.messageVar(sel.X)
+}
+
+// aliasCells computes the message cells an expression's value may
+// alias. Conversions and copies (string(x), []byte(x), copy, unknown
+// calls) break aliasing; slicing, parenthesizing, and appending slice
+// elements preserve it.
+func (a *bufleaseFn) aliasCells(s *blState, e ast.Expr) map[types.Object]bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if set, ok := s.alias[a.pass.Info.ObjectOf(e)]; ok {
+			return set
+		}
+	case *ast.SelectorExpr:
+		if cell, ok := a.messageVar(e.X); ok && e.Sel.Name == "Data" {
+			return map[types.Object]bool{cell: true}
+		}
+	case *ast.ParenExpr:
+		return a.aliasCells(s, e.X)
+	case *ast.SliceExpr:
+		return a.aliasCells(s, e.X)
+	case *ast.CallExpr:
+		// append(dst, elems...) aliases dst's backing array, and keeps
+		// slice-typed elements alive inside it. An ellipsis spread of a
+		// byte slice copies bytes and breaks aliasing.
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if _, isBuiltin := a.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				out := map[types.Object]bool{}
+				for cell := range a.aliasCells(s, e.Args[0]) {
+					out[cell] = true
+				}
+				for _, arg := range e.Args[1:] {
+					if e.Ellipsis != token.NoPos && arg == e.Args[len(e.Args)-1] && isByteSlice(a.pass.TypeOf(arg)) {
+						continue // append(dst, src...) copies the bytes
+					}
+					if isByteSlice(a.pass.TypeOf(arg)) {
+						for cell := range a.aliasCells(s, arg) {
+							out[cell] = true
+						}
+					}
+				}
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// isMessageType matches transport.Message (by package name and type
+// name, so fixture stubs exercise the analyzer without importing the
+// module), optionally behind a pointer.
+func isMessageType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Message" &&
+		obj.Pkg() != nil && obj.Pkg().Name() == "transport"
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+func copyCells(set map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(set))
+	for cell := range set {
+		out[cell] = true
+	}
+	return out
+}
+
+func sortedCells(set map[types.Object]bool) []types.Object {
+	out := make([]types.Object, 0, len(set))
+	for cell := range set {
+		out = append(out, cell)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func sortedMsgCells(m map[types.Object]uint8) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for cell := range m {
+		out = append(out, cell)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}

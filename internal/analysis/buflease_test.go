@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+func TestBufLeaseFixture(t *testing.T) {
+	diags := runFixture(t, "buflease", BufLease)
+	// One diagnostic per want marker in the fixture; the waived escape
+	// must not appear.
+	const want = 18
+	if len(diags) != want {
+		t.Errorf("got %d diagnostics, want %d:\n%s", len(diags), want, diagnosticSummary(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "buflease" {
+			t.Errorf("diagnostic from unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+}

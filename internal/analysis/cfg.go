@@ -1,0 +1,451 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds intraprocedural control-flow graphs over go/ast
+// function bodies — the substrate of the forward dataflow engine in
+// dataflow.go. The graph is deliberately syntactic and conservative:
+// it models branches, loops (with back edges), switch/select clauses,
+// labeled break/continue/goto, and function-exit paths. Statements
+// appear in blocks in execution order; control expressions (an if or
+// for condition, a range operand, a switch tag) appear as ast.Expr
+// nodes in the block that evaluates them, so a transfer function sees
+// every evaluated expression exactly where it runs.
+//
+// Two constructs get special treatment an analyzer must know about:
+//
+//   - Function literals are NOT descended into: a closure body runs at
+//     some other time (or never), so it gets its own CFG. Analyzers
+//     analyze each FuncLit separately.
+//   - A function that can fall off the end of its body reaches Exit
+//     through a block whose final node is the function's *ast.BlockStmt
+//     body — the "implicit return" sentinel. The builder never appends
+//     a BlockStmt node in any other position, so a transfer function
+//     can treat that node as a return with no results (and run deferred
+//     calls, check leaks, and so on).
+//
+// panic(...) terminates its block with no successor: a crashing path
+// makes no cleanup promises, so it neither reaches Exit nor leaks
+// state into a join.
+
+// A CFGBlock is one straight-line run of nodes. Execution enters at the
+// first node and leaves to exactly one successor (which one is decided
+// by the last node's evaluation).
+type CFGBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*CFGBlock
+}
+
+// A CFG is the control-flow graph of a single function body.
+type CFG struct {
+	Blocks []*CFGBlock
+	Entry  *CFGBlock
+	// Exit is reached by every return statement and by falling off the
+	// end of the body. It has no nodes of its own.
+	Exit *CFGBlock
+}
+
+// BuildCFG constructs the control-flow graph of one function body. The
+// body may be a FuncDecl's or a FuncLit's.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*labelTarget{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	// Implicit return: a reachable fall-off path runs defers and leaves.
+	// The body node itself marks it (see the package comment above).
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, body)
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	b.resolveGotos()
+	return b.cfg
+}
+
+// labelTarget carries the control targets a label can name.
+type labelTarget struct {
+	// start is the block the labeled statement begins in (goto target).
+	start *CFGBlock
+	// brk/cont are set while the labeled loop/switch is being built.
+	brk, cont *CFGBlock
+}
+
+type pendingGoto struct {
+	from  *CFGBlock
+	label string
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return/break/continue/goto/panic) until new reachable code needs
+	// a fresh block.
+	cur *CFGBlock
+
+	// breaks/conts are the innermost break/continue targets.
+	breaks []*CFGBlock
+	conts  []*CFGBlock
+
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel is the label naming the NEXT loop/switch statement,
+	// so `continue lbl` / `break lbl` can resolve to it.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// block returns the block to keep appending to, starting a fresh
+// (unreachable until targeted) one after a terminator.
+func (b *cfgBuilder) block() *CFGBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.emit(s)
+			b.edge(b.cur, b.branchTarget(s, true))
+			b.cur = nil
+		case token.CONTINUE:
+			b.emit(s)
+			b.edge(b.cur, b.branchTarget(s, false))
+			b.cur = nil
+		case token.GOTO:
+			b.emit(s)
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by the enclosing switch clause; keep the node so
+			// transfer functions see it in order.
+			b.emit(s)
+		}
+
+	case *ast.LabeledStmt:
+		start := b.newBlock()
+		b.edge(b.block(), start)
+		b.cur = start
+		b.labels[s.Label.Name] = &labelTarget{start: start}
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		contTo := head
+		var post *CFGBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+			contTo = post
+		}
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, contTo)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, contTo)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.emit(s.X) // the range operand evaluates once
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself marks the per-iteration key/value
+		// assignment.
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.switchClauses(s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchClauses(s.Body.List, s.Assign)
+
+	case *ast.SelectStmt:
+		b.selectClauses(s.Body.List)
+
+	case *ast.ExprStmt:
+		b.emit(s)
+		if isPanicCall(s.X) {
+			b.cur = nil // a crashing path reaches no join and no Exit
+		}
+
+	case *ast.DeclStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.emit(s)
+
+	default:
+		b.emit(s)
+	}
+}
+
+// switchClauses wires a (type) switch: every clause is a successor of
+// the head; a clause ending in fallthrough also flows into the next
+// clause's body. assign, for type switches, is the per-clause binding.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, assign ast.Stmt) {
+	label := b.takeLabel()
+	head := b.block()
+	after := b.newBlock()
+	b.pushBreak(label, after)
+
+	hasDefault := false
+	bodies := make([]*CFGBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+	}
+	for i, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = bodies[i]
+		if assign != nil {
+			b.emit(assign)
+		}
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		b.stmts(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+			b.cur = nil
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no clause matched
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+// selectClauses wires a select: each communication clause is a possible
+// successor. A select without a default blocks until one clause is
+// ready, so "after" is reached only through a clause body.
+func (b *cfgBuilder) selectClauses(clauses []ast.Stmt) {
+	label := b.takeLabel()
+	head := b.block()
+	after := b.newBlock()
+	b.pushBreak(label, after)
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.popBreak()
+	b.cur = after
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *CFGBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, cont)
+	if label != "" {
+		if t := b.labels[label]; t != nil {
+			t.brk, t.cont = brk, cont
+		}
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.conts = b.conts[:len(b.conts)-1]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *CFGBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.conts = append(b.conts, nil) // continue skips switch/select scopes
+	if label != "" {
+		if t := b.labels[label]; t != nil {
+			t.brk = brk
+		}
+	}
+}
+
+func (b *cfgBuilder) popBreak() { b.popLoop() }
+
+// branchTarget resolves break/continue, labeled or not. An unresolvable
+// branch (malformed code) targets Exit so the graph stays connected.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isBreak bool) *CFGBlock {
+	if s.Label != nil {
+		if t := b.labels[s.Label.Name]; t != nil {
+			if isBreak && t.brk != nil {
+				return t.brk
+			}
+			if !isBreak && t.cont != nil {
+				return t.cont
+			}
+		}
+		return b.cfg.Exit
+	}
+	if isBreak {
+		for i := len(b.breaks) - 1; i >= 0; i-- {
+			if b.breaks[i] != nil {
+				return b.breaks[i]
+			}
+		}
+		return b.cfg.Exit
+	}
+	for i := len(b.conts) - 1; i >= 0; i-- {
+		if b.conts[i] != nil {
+			return b.conts[i]
+		}
+	}
+	return b.cfg.Exit
+}
+
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil {
+			b.edge(g.from, t.start)
+		} else {
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+}
+
+// isPanicCall matches a direct call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseFuncBody parses `func f() { <body> }` and returns the body with
+// its FileSet — CFG construction is purely syntactic.
+func parseFuncBody(t *testing.T, body string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reaches reports whether to is reachable from from along Succs.
+func reaches(from, to *CFGBlock) bool {
+	seen := map[*CFGBlock]bool{}
+	var walk func(b *CFGBlock) bool
+	walk = func(b *CFGBlock) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+// blockWith finds the block containing a node matching pred.
+func blockWith(g *CFG, pred func(ast.Node) bool) *CFGBlock {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func isIdentNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		id, ok := n.(ast.Expr)
+		if !ok {
+			return false
+		}
+		i, ok := id.(*ast.Ident)
+		return ok && i.Name == name
+	}
+}
+
+func TestCFGStraightLineReturn(t *testing.T) {
+	_, body := parseFuncBody(t, "x := 1\nreturn")
+	g := BuildCFG(body)
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("Exit unreachable from Entry")
+	}
+	// An explicit return means no implicit-return sentinel anywhere.
+	if b := blockWith(g, func(n ast.Node) bool { _, ok := n.(*ast.BlockStmt); return ok }); b != nil {
+		t.Error("unexpected implicit-return sentinel after explicit return")
+	}
+}
+
+func TestCFGImplicitReturnSentinel(t *testing.T) {
+	_, body := parseFuncBody(t, "x := 1")
+	g := BuildCFG(body)
+	blk := blockWith(g, func(n ast.Node) bool { return n == ast.Node(body) })
+	if blk == nil {
+		t.Fatal("no block carries the body sentinel node")
+	}
+	if last := blk.Nodes[len(blk.Nodes)-1]; last != ast.Node(body) {
+		t.Error("sentinel is not the last node of its block")
+	}
+	if !reaches(blk, g.Exit) {
+		t.Error("sentinel block does not reach Exit")
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	_, body := parseFuncBody(t, `
+if c {
+	x = 1
+} else {
+	x = 2
+}
+y = 3`)
+	g := BuildCFG(body)
+	cond := blockWith(g, isIdentNamed("c"))
+	if cond == nil {
+		t.Fatal("no block evaluates the condition")
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("condition block has %d successors, want 2 (then/else)", len(cond.Succs))
+	}
+	join := blockWith(g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		return ok && id.Name == "y"
+	})
+	for _, s := range cond.Succs {
+		if !reaches(s, join) {
+			t.Error("a branch does not rejoin after the if")
+		}
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	_, body := parseFuncBody(t, `
+for i := 0; i < n; i++ {
+	x = 1
+}
+done()`)
+	g := BuildCFG(body)
+	head := blockWith(g, func(n ast.Node) bool {
+		be, ok := n.(ast.Expr)
+		if !ok {
+			return false
+		}
+		_, ok = be.(*ast.BinaryExpr)
+		return ok
+	})
+	if head == nil {
+		t.Fatal("no block evaluates the loop condition")
+	}
+	// The condition decides body-or-after: two successors.
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head has %d successors, want 2", len(head.Succs))
+	}
+	// A back edge: some block reachable from head has head as successor.
+	backEdge := false
+	for _, b := range g.Blocks {
+		if b != head && reaches(head, b) {
+			for _, s := range b.Succs {
+				if s == head {
+					backEdge = true
+				}
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge to the loop head")
+	}
+	if !reaches(head, g.Exit) {
+		t.Error("loop exit path does not reach Exit")
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	_, body := parseFuncBody(t, `
+for i := 0; i < n; i++ {
+	if skip {
+		continue
+	}
+	if stop {
+		break
+	}
+	work()
+}
+done()`)
+	g := BuildCFG(body)
+	after := blockWith(g, isCallNamed("done"))
+	if after == nil {
+		t.Fatal("no block for the statement after the loop")
+	}
+	brk := blockWith(g, func(n ast.Node) bool {
+		b, ok := n.(*ast.BranchStmt)
+		return ok && b.Tok == token.BREAK
+	})
+	if brk == nil || !hasSucc(brk, after) && !reaches(brk, after) {
+		t.Error("break does not flow to the statement after the loop")
+	}
+	cont := blockWith(g, func(n ast.Node) bool {
+		b, ok := n.(*ast.BranchStmt)
+		return ok && b.Tok == token.CONTINUE
+	})
+	work := blockWith(g, isCallNamed("work"))
+	if cont == nil || work == nil {
+		t.Fatal("missing continue or work block")
+	}
+	// continue targets the post statement, then the head — never the
+	// rest of the body.
+	if hasSucc(cont, work) {
+		t.Error("continue flows into the remainder of the loop body")
+	}
+	if !reaches(cont, work) {
+		t.Error("continue cannot re-enter the loop body via the head")
+	}
+}
+
+func TestCFGSwitchFallthroughAndDefault(t *testing.T) {
+	_, body := parseFuncBody(t, `
+switch v {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+done()`)
+	g := BuildCFG(body)
+	aBlk, bBlk, cBlk := blockWith(g, isCallNamed("a")), blockWith(g, isCallNamed("b")), blockWith(g, isCallNamed("c"))
+	done := blockWith(g, isCallNamed("done"))
+	if aBlk == nil || bBlk == nil || cBlk == nil || done == nil {
+		t.Fatal("missing clause blocks")
+	}
+	if !hasSucc(aBlk, bBlk) {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+	for _, blk := range []*CFGBlock{bBlk, cBlk} {
+		if !reaches(blk, done) {
+			t.Error("a clause does not reach the statement after the switch")
+		}
+	}
+	// With a default clause, the head must not skip straight to after.
+	head := blockWith(g, isIdentNamed("v"))
+	if head == nil {
+		t.Fatal("no block evaluates the switch tag")
+	}
+	for _, s := range head.Succs {
+		if s == done {
+			t.Error("switch with default has a direct head→after edge")
+		}
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	_, body := parseFuncBody(t, `
+if bad {
+	panic("boom")
+}
+ok()`)
+	g := BuildCFG(body)
+	pan := blockWith(g, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		return ok && isPanicCall(es.X)
+	})
+	if pan == nil {
+		t.Fatal("no panic block")
+	}
+	if _, ok := pan.Nodes[len(pan.Nodes)-1].(*ast.ExprStmt); !ok {
+		t.Errorf("panic is not the terminator of its block (last node %T)", pan.Nodes[len(pan.Nodes)-1])
+	}
+	if len(pan.Succs) != 0 {
+		t.Error("panic block has successors; a crashing path reaches no join")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("the non-panicking path should still reach Exit")
+	}
+}
+
+func TestCFGGotoAndLabeledBreak(t *testing.T) {
+	_, body := parseFuncBody(t, `
+outer:
+for {
+	for {
+		if stop {
+			break outer
+		}
+		goto cleanup
+	}
+}
+cleanup:
+done()`)
+	g := BuildCFG(body)
+	brk := blockWith(g, func(n ast.Node) bool {
+		b, ok := n.(*ast.BranchStmt)
+		return ok && b.Tok == token.BREAK
+	})
+	gt := blockWith(g, func(n ast.Node) bool {
+		b, ok := n.(*ast.BranchStmt)
+		return ok && b.Tok == token.GOTO
+	})
+	done := blockWith(g, isCallNamed("done"))
+	if brk == nil || gt == nil || done == nil {
+		t.Fatal("missing branch or label blocks")
+	}
+	if !reaches(brk, done) {
+		t.Error("break outer does not reach the code after the labeled loop")
+	}
+	if !hasSucc(gt, nil) && !reaches(gt, done) {
+		t.Error("goto cleanup does not reach its label")
+	}
+	// The inner loop has no normal exit; only break/goto leave it.
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("Exit unreachable despite break/goto escape paths")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	_, body := parseFuncBody(t, `
+for _, v := range xs {
+	use(v)
+}
+done()`)
+	g := BuildCFG(body)
+	head := blockWith(g, func(n ast.Node) bool { _, ok := n.(*ast.RangeStmt); return ok })
+	if head == nil {
+		t.Fatal("no block carries the RangeStmt per-iteration marker")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head has %d successors, want 2 (body/after)", len(head.Succs))
+	}
+	use := blockWith(g, isCallNamed("use"))
+	if use == nil || !hasSucc(use, head) {
+		t.Error("range body does not loop back to the head")
+	}
+	// The operand evaluates once, before the head.
+	x := blockWith(g, isIdentNamed("xs"))
+	if x == nil || x == head {
+		t.Error("range operand not evaluated exactly once before the head")
+	}
+}
+
+func isCallNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func hasSucc(b, s *CFGBlock) bool {
+	if b == nil {
+		return false
+	}
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

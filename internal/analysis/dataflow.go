@@ -1,0 +1,128 @@
+package analysis
+
+import "go/ast"
+
+// This file is the forward abstract-interpretation core: a worklist
+// fixpoint over the CFGs built in cfg.go, generic over the abstract
+// state. Analyzers supply a Lattice (join/equality/copy over whole
+// states) and a transfer function; the engine supplies iteration order,
+// loop convergence, and reachability.
+//
+// The intended analyzer shape is two-phase:
+//
+//  1. Fixpoint: Forward(...) iterates transfer (with reporting off)
+//     until every block's entry state stabilizes. Loops converge
+//     because transfer is monotone over a finite-height lattice —
+//     every shipped lattice is a map to small bitsets or bounded sets.
+//  2. Replay: walk each *reached* block once more from its fixed entry
+//     state, this time emitting diagnostics. Replay sees exactly the
+//     states execution can see, so a diagnostic is never emitted from
+//     a half-converged intermediate.
+//
+// The engine caps iteration defensively (a non-monotone transfer would
+// otherwise spin); hitting the cap leaves conservative states in place
+// rather than failing the lint run.
+
+// A Lattice defines the join semilattice of abstract states S.
+// Join must be commutative, associative, and idempotent up to Equal;
+// transfer functions must be monotone with respect to it.
+type Lattice[S any] interface {
+	// Join combines two states into their least upper bound. It must
+	// not mutate either argument.
+	Join(a, b S) S
+	// Equal reports whether two states carry the same facts.
+	Equal(a, b S) bool
+	// Clone returns an independent copy the caller may mutate.
+	Clone(s S) S
+}
+
+// FlowResult is the outcome of a forward dataflow run.
+type FlowResult[S any] struct {
+	// In holds the abstract state at each block's entry, indexed by
+	// CFGBlock.Index. Entries of unreached blocks are the zero S.
+	In []S
+	// Reached marks blocks reachable from Entry under the analysis.
+	Reached []bool
+	// Converged is false if the defensive iteration cap was hit.
+	Converged bool
+}
+
+// maxFixpointPasses bounds worklist processing per function. Real
+// lattices here converge in a handful of passes (loop nesting depth
+// plus a constant); the cap only exists to turn a buggy non-monotone
+// transfer into a conservative result instead of a hang.
+const maxFixpointPasses = 1 << 14
+
+// Forward runs a forward dataflow analysis over g: entry is the state
+// at function entry, and transfer returns the state after executing one
+// node (it may mutate and return its argument — the engine passes a
+// private clone). Blocks are processed in index order, so diagnostics
+// and results are deterministic.
+func Forward[S any](g *CFG, lat Lattice[S], entry S, transfer func(S, ast.Node) S) FlowResult[S] {
+	n := len(g.Blocks)
+	res := FlowResult[S]{
+		In:        make([]S, n),
+		Reached:   make([]bool, n),
+		Converged: true,
+	}
+	res.In[g.Entry.Index] = lat.Clone(entry)
+	res.Reached[g.Entry.Index] = true
+
+	pending := make([]bool, n)
+	pending[g.Entry.Index] = true
+	passes := 0
+	for {
+		// Lowest-index-first pop keeps iteration deterministic and
+		// close to program order (blocks are numbered as built).
+		next := -1
+		for i, p := range pending {
+			if p {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		if passes++; passes > maxFixpointPasses {
+			res.Converged = false
+			break
+		}
+		pending[next] = false
+		blk := g.Blocks[next]
+		out := lat.Clone(res.In[next])
+		for _, node := range blk.Nodes {
+			out = transfer(out, node)
+		}
+		for _, succ := range blk.Succs {
+			i := succ.Index
+			if !res.Reached[i] {
+				res.In[i] = lat.Clone(out)
+				res.Reached[i] = true
+				pending[i] = true
+				continue
+			}
+			joined := lat.Join(res.In[i], out)
+			if !lat.Equal(joined, res.In[i]) {
+				res.In[i] = joined
+				pending[i] = true
+			}
+		}
+	}
+	return res
+}
+
+// Replay walks every reached block once from its fixed entry state,
+// calling transfer on each node — the reporting pass. transfer here is
+// typically the same function used in Forward with diagnostics enabled.
+func Replay[S any](g *CFG, lat Lattice[S], res FlowResult[S], transfer func(S, ast.Node) S) {
+	for _, blk := range g.Blocks {
+		if !res.Reached[blk.Index] {
+			continue
+		}
+		st := lat.Clone(res.In[blk.Index])
+		for _, node := range blk.Nodes {
+			st = transfer(st, node)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// varSet is the abstract state for the test analyses: a set of variable
+// names with some property ("definitely assigned" under must semantics,
+// "possibly assigned" under may semantics).
+type varSet map[string]bool
+
+// varLattice joins by intersection (must) or union (may).
+type varLattice struct{ must bool }
+
+func (varLattice) Clone(s varSet) varSet {
+	c := make(varSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (l varLattice) Join(a, b varSet) varSet {
+	out := varSet{}
+	if l.must {
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (varLattice) Equal(a, b varSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// assignTransfer marks identifiers assigned by a node.
+func assignTransfer(s varSet, n ast.Node) varSet {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+
+func TestForwardMustAssignBranches(t *testing.T) {
+	_, body := parseFuncBody(t, `
+if c {
+	x = 1
+} else {
+	x = 2
+}
+if d {
+	y = 1
+}`)
+	g := BuildCFG(body)
+
+	must := Forward[varSet](g, varLattice{must: true}, varSet{}, assignTransfer)
+	if !must.Converged {
+		t.Fatal("must analysis did not converge")
+	}
+	exit := must.In[g.Exit.Index]
+	if !exit["x"] {
+		t.Error("x assigned on both branches but not in the must-set at Exit")
+	}
+	if exit["y"] {
+		t.Error("y assigned on one branch only but appears in the must-set at Exit")
+	}
+
+	may := Forward[varSet](g, varLattice{}, varSet{}, assignTransfer)
+	if e := may.In[g.Exit.Index]; !e["x"] || !e["y"] {
+		t.Errorf("may-set at Exit = %v, want x and y", e)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	// y's assignment depends on x's, which only happens inside the loop:
+	// the may-set at the head grows across iterations, so the worklist
+	// must revisit the body before converging.
+	_, body := parseFuncBody(t, `
+for c {
+	if x {
+		y = 1
+	}
+	x = 1
+}`)
+	g := BuildCFG(body)
+	may := Forward[varSet](g, varLattice{}, varSet{}, assignTransfer)
+	if !may.Converged {
+		t.Fatal("loop analysis did not converge")
+	}
+	if e := may.In[g.Exit.Index]; !e["x"] || !e["y"] {
+		t.Errorf("may-set at Exit = %v, want both x and y (second iteration reaches y)", e)
+	}
+	must := Forward[varSet](g, varLattice{must: true}, varSet{}, assignTransfer)
+	if e := must.In[g.Exit.Index]; e["x"] || e["y"] {
+		t.Errorf("must-set at Exit = %v, want empty (loop may run zero times)", e)
+	}
+}
+
+func TestForwardUnreachableAfterPanic(t *testing.T) {
+	_, body := parseFuncBody(t, `
+panic("boom")
+x = 1`)
+	g := BuildCFG(body)
+	res := Forward[varSet](g, varLattice{}, varSet{}, assignTransfer)
+	if res.Reached[g.Exit.Index] {
+		t.Error("Exit reached although every path panics")
+	}
+	blk := blockWith(g, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		return ok && as.Lhs[0].(*ast.Ident).Name == "x"
+	})
+	if blk == nil {
+		t.Fatal("no block for the statement after panic")
+	}
+	if res.Reached[blk.Index] {
+		t.Error("statement after panic marked reachable")
+	}
+}
+
+// deferState is a miniature of buflease's defer handling: pending
+// must-run defers (joined by intersection via the pending set) and the
+// calls that have definitely run by each point.
+type deferState struct {
+	pending varSet
+	ran     varSet
+}
+
+type deferLattice struct{}
+
+func (deferLattice) Clone(s deferState) deferState {
+	return deferState{pending: varLattice{}.Clone(s.pending), ran: varLattice{}.Clone(s.ran)}
+}
+
+func (deferLattice) Join(a, b deferState) deferState {
+	must := varLattice{must: true}
+	return deferState{pending: must.Join(a.pending, b.pending), ran: must.Join(a.ran, b.ran)}
+}
+
+func (deferLattice) Equal(a, b deferState) bool {
+	return varLattice{}.Equal(a.pending, b.pending) && varLattice{}.Equal(a.ran, b.ran)
+}
+
+// TestForwardDefersAtReturns drives the two-phase pattern: fixpoint,
+// then Replay with a capturing transfer that records, at every return
+// (explicit or the implicit-return sentinel), which deferred calls have
+// run. Defers registered after an early return must not count for it;
+// defers registered inside a conditional must not be guaranteed at all.
+func TestForwardDefersAtReturns(t *testing.T) {
+	fset, body := parseFuncBody(t, `
+if c {
+	return
+}
+defer f()
+if d {
+	defer g()
+}
+if e {
+	return
+}
+work()`)
+	g := BuildCFG(body)
+	lat := deferLattice{}
+	transfer := func(s deferState, n ast.Node) deferState {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if id, ok := n.Call.Fun.(*ast.Ident); ok {
+				s.pending[id.Name] = true
+			}
+		case *ast.ReturnStmt, *ast.BlockStmt:
+			for name := range s.pending {
+				s.ran[name] = true
+			}
+		}
+		return s
+	}
+	entry := deferState{pending: varSet{}, ran: varSet{}}
+	res := Forward[deferState](g, lat, entry, transfer)
+	if !res.Converged {
+		t.Fatal("defer analysis did not converge")
+	}
+
+	// Capture the post-transfer state at each function exit by line.
+	ranAt := map[int]varSet{}
+	Replay[deferState](g, lat, res, func(s deferState, n ast.Node) deferState {
+		s = transfer(s, n)
+		switch n.(type) {
+		case *ast.ReturnStmt, *ast.BlockStmt:
+			ranAt[fset.Position(n.Pos()).Line] = varLattice{}.Clone(s.ran)
+		}
+		return s
+	})
+
+	if len(ranAt) != 3 {
+		t.Fatalf("captured %d exits, want 3 (two returns + fall-off): %v", len(ranAt), ranAt)
+	}
+	// The returns sit on source lines 5 and 12 (two injected header
+	// lines precede the body); the sentinel's Pos is the body's opening
+	// brace on line 2.
+	early, mid, falloff := ranAt[5], ranAt[12], ranAt[2]
+	if len(early) != 0 {
+		t.Errorf("early return ran defers %v, want none (f registered later)", early)
+	}
+	if !mid["f"] {
+		t.Error("return after `defer f()` did not run f")
+	}
+	if mid["g"] {
+		t.Error("conditionally registered g counted as must-run")
+	}
+	if !falloff["f"] || falloff["g"] {
+		t.Errorf("fall-off exit ran %v, want f but not the conditional g", falloff)
+	}
+}

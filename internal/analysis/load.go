@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked package ready for analysis.
@@ -66,13 +67,35 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	return newLoader(moduleDir, modPath), nil
 }
 
+// The standard-library import cache is process-wide: one FileSet and one
+// source importer shared by every Loader. The source importer memoizes
+// the GOROOT packages it type-checks, but only per importer instance —
+// before this cache, every Loader (one per fixture test, one per mclint
+// run) re-type-checked sync, fmt, net, and their transitive closure from
+// source. Sharing the importer means each stdlib package is checked once
+// per process; the FileSet must be shared with it so stdlib positions
+// stay coherent. Module packages remain per-Loader (they differ per
+// fixture and may be reloaded after edits).
+var (
+	sharedFset    = token.NewFileSet()
+	sharedStdOnce sync.Once
+	sharedStd     types.ImporterFrom
+	sharedStdMu   sync.Mutex // the source importer is not documented concurrency-safe
+)
+
+func stdImporter() types.ImporterFrom {
+	sharedStdOnce.Do(func() {
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+	})
+	return sharedStd
+}
+
 func newLoader(moduleDir, modulePath string) *Loader {
-	fset := token.NewFileSet()
 	return &Loader{
-		Fset:       fset,
+		Fset:       sharedFset,
 		ModuleDir:  moduleDir,
 		ModulePath: modulePath,
-		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		std:        stdImporter(),
 		pkgs:       map[string]*Package{},
 	}
 }
@@ -181,6 +204,8 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 		}
 		return p.Pkg, nil
 	}
+	sharedStdMu.Lock()
+	defer sharedStdMu.Unlock()
 	return l.std.ImportFrom(path, dir, mode)
 }
 

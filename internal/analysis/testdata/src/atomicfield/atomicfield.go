@@ -1,0 +1,60 @@
+// Package atomicfield is the fixture for the atomicfield analyzer:
+// fields accessed both through sync/atomic and by plain read/write,
+// atomic wrapper values copied directly, and the corrected variants
+// (methods everywhere, address-of hand-off, pre-publication waiver).
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64        // accessed via atomic.* functions — and, wrongly, plainly
+	total atomic.Uint64 // wrapper type: methods only
+	gauge int64         // plain everywhere: fine
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) read() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic .* but read/written plainly here`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic .* but read/written plainly here`
+}
+
+func (c *counters) okTotal() uint64 { return c.total.Load() }
+
+func (c *counters) badTotal() atomic.Uint64 {
+	return c.total // want `atomic field total \(sync/atomic\.Uint64\) is copied or assigned directly`
+}
+
+// view hands the atomic out by reference — the obs registry pattern —
+// which is not a copy and stays quiet.
+func view(c *counters) *atomic.Uint64 { return &c.total }
+
+// loadMethodValue binds the method without calling it; still sanctioned.
+func loadMethodValue(c *counters) func() uint64 { return c.total.Load }
+
+func (c *counters) plainOnly() { c.gauge++ }
+
+// fixed is the corrected variant of counters.hits: every access goes
+// through sync/atomic.
+type fixed struct{ n uint64 }
+
+func inc(f *fixed) { atomic.AddUint64(&f.n, 1) }
+
+func get(f *fixed) uint64 { return atomic.LoadUint64(&f.n) }
+
+// boot shows the waiver pattern for single-goroutine initialization
+// before publication.
+type boot struct{ ready uint64 }
+
+func newBoot() *boot {
+	b := &boot{}
+	b.ready = 1 //mclint:atomicfield pre-publication init: no other goroutine can hold b yet
+	return b
+}
+
+func (b *boot) isReady() bool { return atomic.LoadUint64(&b.ready) == 1 }

@@ -1,0 +1,193 @@
+// Package buflease is the fixture for the buflease analyzer: every
+// documented bug class (use-after-Release, double Release on converging
+// paths, Release skipped on an early return, escaping Data aliases,
+// goroutine capture) paired with a corrected variant the analyzer must
+// accept, plus one waived site.
+package buflease
+
+import "fixture/transport"
+
+type sink struct{ last []byte }
+
+var stash []byte
+
+// --- use after Release -------------------------------------------------
+
+func useAfterRelease(m transport.Message) int {
+	m.Release()
+	return len(m.Data) // want `m\.Data used after Release`
+}
+
+func aliasUseAfterRelease(m transport.Message) byte {
+	d := m.Data[4:8] // slicing preserves the alias
+	m.Release()
+	return d[0] // want `alias of m\.Data used after Release`
+}
+
+// maybeUseAfterRelease: Release on only one branch; the merged state is
+// "possibly released", and the fall-off end possibly leaks.
+func maybeUseAfterRelease(m transport.Message, drop bool) {
+	if drop {
+		m.Release()
+	}
+	_ = len(m.Data) // want `m\.Data may be used after Release`
+} // want `m\.Release\(\) may be skipped on this return path`
+
+// copyViaString is the corrected variant: string() copies, so the value
+// survives Release.
+func copyViaString(m transport.Message) string {
+	s := string(m.Data)
+	m.Release()
+	return s
+}
+
+// --- double Release ----------------------------------------------------
+
+func doubleRelease(m transport.Message) {
+	m.Release()
+	m.Release() // want `^double Release of m$`
+}
+
+func doubleReleaseMerge(m transport.Message, drop bool) {
+	if drop {
+		m.Release()
+	}
+	m.Release() // want `possible double Release of m: already released on a converging path`
+}
+
+func deferredDouble(m transport.Message) {
+	defer m.Release() // want `double Release of m: deferred Release runs after an explicit Release`
+	m.Release()
+}
+
+// releaseOncePerBranch is the corrected variant: exactly one Release on
+// every path.
+func releaseOncePerBranch(m transport.Message, drop bool) {
+	if drop {
+		m.Release()
+		return
+	}
+	_ = len(m.Data)
+	m.Release()
+}
+
+// --- Release skipped on a return path ----------------------------------
+
+func earlyReturnLeak(m transport.Message, bad bool) {
+	if bad {
+		return // want `m\.Release\(\) is skipped on this return path`
+	}
+	m.Release()
+}
+
+// deferRelease is the corrected variant: a deferred Release covers every
+// return path, including the early one.
+func deferRelease(m transport.Message, bad bool) {
+	defer m.Release()
+	if bad {
+		return
+	}
+	_ = len(m.Data)
+}
+
+// handOff is the other corrected variant: passing the message to a
+// callee transfers ownership, so the skipped-Release obligation lifts.
+func handOff(m transport.Message, drop bool) {
+	if drop {
+		m.Release()
+		return
+	}
+	process(m)
+}
+
+func process(m transport.Message) { m.Release() }
+
+// neverReleases makes no ownership promise at all: not releasing is
+// legal (the buffer falls to the GC), so nothing is reported.
+func neverReleases(m transport.Message, s *sink) {
+	s.last = m.Data
+}
+
+// --- escaping aliases --------------------------------------------------
+
+func escapeToField(m transport.Message, s *sink) {
+	s.last = m.Data // want `alias of m\.Data stored outside the handler frame`
+	m.Release()
+}
+
+func escapeToGlobal(m transport.Message) {
+	stash = m.Data // want `alias of m\.Data stored in a package-level variable`
+	m.Release()
+}
+
+func escapeToChannel(m transport.Message, ch chan []byte) {
+	ch <- m.Data // want `alias of m\.Data sent on a channel`
+	m.Release()
+}
+
+func escapeViaReturn(m transport.Message) []byte {
+	d := m.Data
+	m.Release()
+	return d // want `alias of m\.Data used after Release` `alias of m\.Data returned`
+}
+
+// escapeCopied is the corrected variant: append into a fresh backing
+// array breaks the alias before the store.
+func escapeCopied(m transport.Message, s *sink) {
+	s.last = append([]byte(nil), m.Data...)
+	m.Release()
+}
+
+// waivedEscape shows the escape hatch: the justification rides on the
+// waiver comment.
+func waivedEscape(m transport.Message, s *sink) {
+	s.last = m.Data //mclint:buflease consumer provably drains s.last before the pool reissues this buffer
+	m.Release()
+}
+
+// --- goroutine capture -------------------------------------------------
+
+func goroutineCapture(m transport.Message) {
+	d := m.Data
+	go func() {
+		_ = d[0] // want `goroutine captures alias of m\.Data`
+	}()
+	m.Release()
+}
+
+func goroutineCaptureMessage(m transport.Message) {
+	go func() {
+		_ = m.Data // want `goroutine captures message m`
+	}()
+	m.Release()
+}
+
+// goroutineCopied is the corrected variant: the goroutine closes over a
+// private copy.
+func goroutineCopied(m transport.Message) {
+	d := append([]byte(nil), m.Data...)
+	go func() {
+		_ = d[0]
+	}()
+	m.Release()
+}
+
+// --- loops: the fixpoint at work ---------------------------------------
+
+// loopRelease releases inside the loop body; the back edge makes the
+// second iteration's state "possibly released".
+func loopRelease(m transport.Message, n int) {
+	for i := 0; i < n; i++ {
+		_ = m.Data[0] // want `m\.Data may be used after Release`
+		m.Release()   // want `possible double Release of m`
+	}
+} // want `m\.Release\(\) may be skipped on this return path`
+
+// rangeRelease is the corrected loop: each iteration owns a distinct
+// message, so per-iteration Release is exactly once per buffer.
+func rangeRelease(ms []transport.Message) {
+	for _, m := range ms {
+		_ = len(m.Data)
+		m.Release()
+	}
+}

@@ -1,0 +1,18 @@
+// Package transport stubs the zero-copy message type for buflease
+// fixtures. The analyzer matches the type by package name and type name
+// (like the real analyzers match obs.Registry), so fixtures exercise
+// the ownership rules without importing the module under analysis.
+package transport
+
+// Addr stands in for the transport's source address.
+type Addr struct{ IP string }
+
+// Message mirrors the real transport.Message ownership surface: Data
+// aliases a pooled receive buffer valid until Release.
+type Message struct {
+	From Addr
+	Data []byte
+}
+
+// Release returns the buffer to its pool.
+func (m *Message) Release() {}

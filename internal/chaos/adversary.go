@@ -156,7 +156,11 @@ func (a *Adversary) record(m transport.Message) {
 	if err != nil || desc.Origin != p.Origin {
 		return
 	}
-	a.wire = append(a.wire, append([]byte(nil), m.Data...))
+	// The bus hands every recipient its own copy and this handler never
+	// Releases, so retaining m.Data directly is safe — no second
+	// defensive copy needed (buflease verifies handlers that do Release
+	// never retain).
+	a.wire = append(a.wire, m.Data)
 	a.descs = append(a.descs, desc)
 }
 

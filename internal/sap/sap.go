@@ -160,7 +160,7 @@ func (p *Packet) Decode(data []byte) error {
 			if !looksLikeMIME(candidate) {
 				return fmt.Errorf("%w (%q)", ErrBadPayload, candidate)
 			}
-			p.PayloadType = string(candidate)
+			p.PayloadType = internPayloadType(candidate)
 			p.Payload = rest[i+1:]
 			break
 		}
@@ -168,6 +168,36 @@ func (p *Packet) Decode(data []byte) error {
 			// Reached payload body without a NUL: no payload type field.
 			break
 		}
+	}
+	return nil
+}
+
+// internPayloadType returns the payload-type string without allocating
+// for the overwhelmingly common case: every sdr announcement carries
+// application/sdp, and comparing a []byte against a string constant
+// compiles to a no-alloc comparison. This is the last allocation on the
+// SAP decode path — with it interned, Decode is allocation-free for SDP
+// traffic (pinned by TestDecodeZeroAlloc).
+func internPayloadType(b []byte) string {
+	if string(b) == PayloadTypeSDP {
+		return PayloadTypeSDP
+	}
+	return string(b)
+}
+
+// DecodeCopy parses data into p like Decode, but copies the payload
+// (and payload type) into fresh allocations so p retains nothing of
+// data. Use it when the packet outlives the input buffer — chaos
+// recorders, test captures — and the aliasing contract of Decode is a
+// liability rather than a win. It is also the legacy-cost baseline the
+// SAPDecode benchmarks compare against.
+func (p *Packet) DecodeCopy(data []byte) error {
+	if err := p.Decode(data); err != nil {
+		return err
+	}
+	p.Payload = append([]byte(nil), p.Payload...)
+	if p.PayloadType != "" && p.PayloadType != PayloadTypeSDP {
+		p.PayloadType = string(append([]byte(nil), p.PayloadType...))
 	}
 	return nil
 }

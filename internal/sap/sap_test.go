@@ -245,3 +245,76 @@ func BenchmarkMarshal(b *testing.B) {
 		}
 	}
 }
+
+// TestDecodeZeroAlloc pins the zero-copy decode promise: decoding an
+// SDP announcement performs no allocation at all — the payload aliases
+// the input and the payload type is interned against PayloadTypeSDP.
+func TestDecodeZeroAlloc(t *testing.T) {
+	wire, err := samplePacket().Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := p.Decode(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Decode allocates %v times per run, want 0", allocs)
+	}
+	if p.PayloadType != PayloadTypeSDP {
+		t.Fatalf("payload type %q not interned", p.PayloadType)
+	}
+}
+
+// TestInternPayloadType checks the non-SDP MIME path still decodes
+// (with its one unavoidable allocation) and that the interned constant
+// is returned by identity for SDP.
+func TestInternPayloadType(t *testing.T) {
+	if got := internPayloadType([]byte("application/sdp")); got != PayloadTypeSDP {
+		t.Fatalf("intern = %q", got)
+	}
+	if got := internPayloadType([]byte("text/plain")); got != "text/plain" {
+		t.Fatalf("intern = %q", got)
+	}
+	p := samplePacket()
+	p.PayloadType = "text/plain"
+	wire, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	if err := got.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+	if got.PayloadType != "text/plain" {
+		t.Fatalf("payload type %q", got.PayloadType)
+	}
+}
+
+// TestDecodeCopyDoesNotAlias is DecodeCopy's retention contract:
+// mutating the wire buffer after DecodeCopy must not show through.
+func TestDecodeCopyDoesNotAlias(t *testing.T) {
+	wire, _ := samplePacket().Marshal(nil)
+	var got Packet
+	if err := got.DecodeCopy(wire); err != nil {
+		t.Fatal(err)
+	}
+	old := got.Payload[0]
+	wire[len(wire)-len(got.Payload)] = old + 1
+	if got.Payload[0] != old {
+		t.Fatal("DecodeCopy payload aliases the input buffer")
+	}
+}
+
+func BenchmarkDecodeCopy(b *testing.B) {
+	wire, _ := samplePacket().Marshal(nil)
+	var p Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.DecodeCopy(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

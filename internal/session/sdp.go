@@ -1,6 +1,7 @@
 package session
 
 import (
+	"bytes"
 	"fmt"
 	"net/netip"
 	"strconv"
@@ -83,18 +84,33 @@ func sanitizeLine(s string) string {
 }
 
 // ParseSDP parses the SDP subset back into a Description.
+//
+// data may alias a pooled receive buffer (the zero-copy decode path):
+// the parser walks it line by line without duplicating the payload, and
+// every string the Description retains is a fresh per-line copy, so the
+// result stays valid after the buffer is released. Ignored lines cost
+// nothing.
 func ParseSDP(data []byte) (*Description, error) {
 	d := &Description{}
 	sawV, sawO, sawS, sawC, sawT := false, false, false, false, false
-	for lineNo, raw := range strings.Split(string(data), "\n") {
-		line := strings.TrimRight(raw, "\r")
-		if line == "" {
+	rest := data
+	for lineNo := 1; len(rest) > 0; lineNo++ {
+		var lineB []byte
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			lineB, rest = rest[:i], rest[i+1:]
+		} else {
+			lineB, rest = rest, nil
+		}
+		lineB = bytes.TrimRight(lineB, "\r")
+		if len(lineB) == 0 {
 			continue
 		}
-		if len(line) < 2 || line[1] != '=' {
-			return nil, fmt.Errorf("sdp: line %d: malformed %q", lineNo+1, line)
+		if len(lineB) < 2 || lineB[1] != '=' {
+			return nil, fmt.Errorf("sdp: line %d: malformed %q", lineNo, lineB)
 		}
-		key, val := line[0], line[2:]
+		// One small copy per meaningful line; the switch below may retain
+		// val (or substrings of it) in the Description.
+		key, val := lineB[0], string(lineB[2:])
 		switch key {
 		case 'v':
 			if val != "0" {

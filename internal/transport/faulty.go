@@ -327,6 +327,7 @@ func (f *FaultTransport) onRecv(m Message) {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
+		m.Release() // late arrival after Close: return the buffer, not just the message
 		return
 	}
 	pl := f.ingress.plan(f.rng, len(m.Data)) //mclint:lockscope pure RNG/state arithmetic on fields owned by mu; no I/O, callbacks, or other locks
