@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json chaos adversary bench bench-snapshot
+.PHONY: all build test race vet lint lint-json chaos adversary proc-chaos proc-chaos-extended bench bench-snapshot
 
 all: build vet lint test
 
@@ -48,6 +48,20 @@ chaos:
 # field-identically from their seeds (DESIGN.md §11).
 adversary:
 	$(GO) test -race -count=1 -run TestAdversary ./internal/chaos
+
+# The process-level chaos gate: real sdrd daemons wired through the
+# deterministic UDP fault relay, driven by the mcchaos orchestrator —
+# flash crowds, SIGKILL+restart from checkpoint, partition/heal — with
+# race-built binaries and seed-replayable verdicts (DESIGN.md §15).
+# Quick tier, bounded around a minute of wall time.
+proc-chaos:
+	$(GO) test -count=1 -run TestProcChaosQuick ./cmd/mcchaos
+
+# Nightly tier: the extended schedule (bigger crowd, SIGSTOP freeze,
+# longer partition, rougher links), same seed-replay contract.
+# PROC_CHAOS_ARTIFACTS, when set, collects daemon logs and verdicts.
+proc-chaos-extended:
+	PROC_CHAOS_EXTENDED=1 $(GO) test -count=1 -timeout 20m -run TestProcChaos ./cmd/mcchaos
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

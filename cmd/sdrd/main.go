@@ -26,10 +26,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"sessiondir"
+	"sessiondir/internal/announce"
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/obs"
 	"sessiondir/internal/session"
@@ -67,9 +69,12 @@ func run() error {
 		maxPerOrigin = flag.Int("max-per-origin", 0, "bound cached sessions per announcing origin (0 = unlimited)")
 		originRate   = flag.Float64("origin-rate", 0, "per-origin packet budget in packets/second (0 = unlimited)")
 		originBurst  = flag.Float64("origin-burst", 0, "per-origin token-bucket depth in packets (0 = max(8, 4x rate))")
+		staleAfter   = flag.Duration("stale-after", 0, "cached sessions unheard this long become evictable under budget pressure (0 = cache timeout / 4)")
+		cacheTimeout = flag.Duration("cache-timeout", 0, "expire unheard sessions after this long (0 = one hour)")
 
-		seed      = flag.Uint64("seed", 0, "RNG seed for allocation and clash timing (0 = derive from -origin and PID so identically configured daemons diverge)")
-		httpDebug = flag.String("http-debug", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (empty = disabled)")
+		seed            = flag.Uint64("seed", 0, "RNG seed for allocation and clash timing (0 = derive from -origin and PID so identically configured daemons diverge)")
+		announceInitial = flag.Duration("announce-initial", 0, "first re-announcement delay, doubling each round and capping at 4x (0 = paper's 5s schedule; lower only for tests/chaos harnesses)")
+		httpDebug       = flag.String("http-debug", "", "serve /metrics, /trace, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -111,6 +116,9 @@ func run() error {
 		MaxPerOrigin: *maxPerOrigin,
 		OriginRate:   *originRate,
 		OriginBurst:  *originBurst,
+		StaleAfter:   *staleAfter,
+		CacheTimeout: *cacheTimeout,
+		Backoff:      backoffFor(*announceInitial),
 		Seed:         seedVal,
 		Obs:          reg,
 		Trace:        trace,
@@ -127,8 +135,12 @@ func run() error {
 	}
 	defer dir.Close()
 
+	// ready flips once the socket is bound (it is, the transport is up),
+	// the cache restore has completed, and the initial announcement is
+	// out — the point where a supervisor can route traffic at us.
+	var ready atomic.Bool
 	if *httpDebug != "" {
-		stopDebug, err := startDebugServer(*httpDebug, reg, trace)
+		stopDebug, err := startDebugServer(*httpDebug, reg, trace, dir, &ready)
 		if err != nil {
 			return err
 		}
@@ -168,6 +180,7 @@ func run() error {
 		}
 		log.Printf("announcing %q on %s with TTL %d", desc.Name, desc.Group, desc.TTL)
 	}
+	ready.Store(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -176,6 +189,22 @@ func run() error {
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
 	}
+
+	// Graceful shutdown: on a signal or -for expiry, drain the UDP read
+	// loop before the final checkpoint defer (registered above, so it runs
+	// after this one) — a tail burst still queued in the kernel's socket
+	// buffer makes it into the saved cache instead of being discarded with
+	// the socket. Error-path exits skip the drain and close fast.
+	defer func() {
+		if ctx.Err() == nil {
+			return
+		}
+		ready.Store(false)
+		log.Println("draining: waiting for the UDP read loop to quiesce")
+		if err := udp.DrainClose(200*time.Millisecond, 2*time.Second); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}()
 
 	// Periodic checkpoints bound how much listened state an unclean exit
 	// (OOM kill, power loss) can cost; each save is atomic, so a kill in
@@ -291,6 +320,25 @@ func openTransport(group string, port uint16, peers, listen string, reg *obs.Reg
 	return tr, nil
 }
 
+// backoffFor maps -announce-initial onto the paper's doubling schedule:
+// zero keeps the library default (5 s start), anything else moves the
+// starting point and caps the steady interval at 4x the start. Without
+// the cap a compressed schedule still doubles off past any short test
+// window (2s start → announcements at 0,2,6,14,30,62 s), leaving a peer
+// that missed one lossy packet with nothing to relearn from; the cap
+// keeps a periodic refresh (…,22,30,38 s) inside the window.
+func backoffFor(initial time.Duration) announce.Backoff {
+	if initial <= 0 {
+		return announce.Backoff{}
+	}
+	b := announce.DefaultBackoff(0)
+	b.Initial = initial
+	if s := 4 * initial; s < b.Steady {
+		b.Steady = s
+	}
+	return b
+}
+
 // deriveSeed gives each daemon its own RNG stream by default. Two daemons
 // started with identical flags used to share the fixed fallback seed, so
 // a symmetric clash (both announce the same address across a healed
@@ -309,11 +357,13 @@ func deriveSeed(origin string, pid int) uint64 {
 }
 
 // startDebugServer serves the observability surface on addr: Prometheus
-// text at /metrics, the protocol event ring at /trace, expvar at
-// /debug/vars and the pprof family under /debug/pprof/. It is opt-in via
-// -http-debug and binds before returning, so a bad address fails startup
-// instead of logging from a goroutine after the daemon looks healthy.
-func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace) (shutdown func(), err error) {
+// text at /metrics, the protocol event ring at /trace, liveness and
+// readiness probes at /healthz and /readyz, the live session table at
+// /sessions, expvar at /debug/vars and the pprof family under
+// /debug/pprof/. It is opt-in via -http-debug and binds before
+// returning, so a bad address fails startup instead of logging from a
+// goroutine after the daemon looks healthy.
+func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace, dir *sessiondir.Directory, ready *atomic.Bool) (shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("http-debug: %w", err)
@@ -323,6 +373,30 @@ func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace) (shutdow
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
 			log.Printf("http-debug: metrics write: %v", err) // scraper hung up mid-response
+		}
+	})
+	// Liveness: the process is serving HTTP, so it is alive. Readiness is
+	// the stronger claim — socket bound, cache restore complete, initial
+	// announcement out — and drops again while draining for shutdown.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprintln(w, "ok") // probe hung up; nothing to report to
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = fmt.Fprintln(w, "starting") // probe hung up; nothing to report to
+			return
+		}
+		_, _ = fmt.Fprintln(w, "ready") // probe hung up; nothing to report to
+	})
+	// The live session table, one line per session: key, group, TTL, then
+	// the free-form name last so embedded separators cannot shift fields.
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range dir.Sessions() {
+			_, _ = fmt.Fprintf(w, "%s\t%s\t%d\t%s\n", s.Key(), s.Group, s.TTL, s.Name) // scraper hung up mid-table
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {

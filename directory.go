@@ -138,6 +138,44 @@ type Config struct {
 	Trace *obs.Trace
 }
 
+// Overload degradation tiers. When the listened-session cache's *fresh*
+// occupancy nears the MaxSessions budget the directory sheds work in a
+// fixed order — optional protocol work first, listen-cache admissions
+// second, announcements never (our own sessions must stay visible, or
+// the overload would also partition us). Fresh means heard within
+// StaleAfter and not tombstoned: stale entries are reclaimable on demand
+// by the admission planner, so they are capacity, not pressure — and
+// counting them would leave the directory degraded forever after a flash
+// crowd goes quiet.
+//
+//	level 0 — normal operation.
+//	level 1 — fresh occupancy ≥ 75% of MaxSessions: third-party
+//	          (phase-3) defenses are suppressed. They are an
+//	          optimization, not a correctness requirement; the session's
+//	          owner still defends.
+//	level 2 — fresh occupancy ≥ 95%: additionally, only one in
+//	          degradeAdmitSample previously-unknown sessions runs the
+//	          full admission scan (the rest are shed outright). The
+//	          sampled path keeps stale-first eviction flowing, so the
+//	          cache still turns over, and the level decays on its own
+//	          once the flood's entries go stale.
+//
+// The fresh count is O(cache) to take, so it is recomputed on the
+// once-per-second Step path and on scrape/accessor paths, never per
+// packet — the packet path reads the last computed tier.
+//
+// Level 2 exists to bound the admission layer's O(cache) candidate scan
+// under a flood, so it only engages when the budget is at least
+// degradeMinBudget — on a tiny cache the scan is cheap and sampling
+// would just change admission outcomes for nothing. With MaxSessions
+// unset there is no budget to measure against and the level is always 0.
+const (
+	degradeL1Pct       = 75 // cache occupancy %, level 1 threshold
+	degradeL2Pct       = 95 // cache occupancy %, level 2 threshold
+	degradeAdmitSample = 4  // level 2: 1-in-N unknown sessions admitted
+	degradeMinBudget   = 32 // smallest MaxSessions where level 2 can engage
+)
+
 type ownedSession struct {
 	desc          *session.Description
 	announceCount int
@@ -160,6 +198,17 @@ type Directory struct {
 	epoch   time.Time
 	nextID  uint64
 	closed  bool
+	// degradeTick counts unknown-session packets seen at degradation
+	// level 2; every degradeAdmitSample-th one takes the full admission
+	// path so the cache keeps turning over.
+	degradeTick uint64
+	// degradeLevel is the tier computed by the last computeDegradeLocked;
+	// the per-packet path reads it instead of rescanning the cache.
+	degradeLevel int
+	// staleAfter mirrors the admission controller's resolved staleness
+	// horizon; entries older than this are reclaimable, hence not counted
+	// as degradation pressure.
+	staleAfter time.Duration
 	// outbox holds packets built under mu and transmitted after unlock, so
 	// synchronous transports whose recipients react immediately (the
 	// in-process Bus) cannot re-enter and deadlock.
@@ -189,6 +238,10 @@ type Metrics struct {
 	ForgedReports uint64 // announcements failing clash-report validation, dropped
 	ForgedDeletes uint64 // deletions whose origin did not match the cached announcement
 	Evictions     uint64 // cached sessions displaced to stay inside the budget
+
+	// Degradation counters (zero unless the cache crossed a tier).
+	DegradedDefenses uint64 // phase-3 defenses suppressed at level ≥ 1
+	DegradedLearns   uint64 // unknown sessions shed without an admission scan at level 2
 }
 
 type outMsg struct {
@@ -214,6 +267,8 @@ type dirInstruments struct {
 	forgedReports     *obs.Counter
 	forgedDeletes     *obs.Counter
 	evictions         *obs.Counter
+	degradedDefenses  *obs.Counter
+	degradedLearns    *obs.Counter
 	packetBytes       *obs.Histogram
 }
 
@@ -242,6 +297,8 @@ func newDirInstruments(r *obs.Registry) (dirInstruments, error) {
 		{&ins.forgedReports, "dir_admission_forged_reports_total", "announcements failing clash-report validation, dropped"},
 		{&ins.forgedDeletes, "dir_admission_forged_deletes_total", "deletions whose origin did not match the cached announcement"},
 		{&ins.evictions, "dir_admission_evictions_total", "cached sessions displaced to stay inside the budget"},
+		{&ins.degradedDefenses, "dir_degraded_defenses_suppressed_total", "phase-3 defenses suppressed under overload degradation"},
+		{&ins.degradedLearns, "dir_degraded_learns_shed_total", "unknown sessions shed without an admission scan at degradation level 2"},
 	}
 	for _, c := range counters {
 		m, err := r.Counter(c.name, c.help)
@@ -281,6 +338,11 @@ func (d *Directory) registerGauges() error {
 			d.mu.Lock()
 			defer d.mu.Unlock()
 			return float64(d.admit.Stats().Origins)
+		}},
+		{"shed_degradation_level", "overload degradation tier: 0 normal, 1 phase-3 defenses shed, 2 listen-cache admissions sampled", func() float64 {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			return float64(d.computeDegradeLocked(d.cfg.Clock()))
 		}},
 	}
 	for _, g := range gauges {
@@ -385,6 +447,7 @@ func New(cfg Config) (*Directory, error) {
 	if staleAfter <= 0 {
 		staleAfter = d.cache.Timeout / 4
 	}
+	d.staleAfter = staleAfter
 	d.admit = admission.New(admission.Config{
 		MaxSessions:  cfg.MaxSessions,
 		MaxPerOrigin: cfg.MaxPerOrigin,
@@ -699,6 +762,17 @@ func (d *Directory) handlePacket(m transport.Message) {
 		return
 	}
 	if _, known := d.cache.Peek(key); !known && d.owned[key] == nil {
+		// At degradation level 2 most unknown sessions are shed before the
+		// admission layer's O(cache) candidate scan even runs; the sampled
+		// survivors keep stale-first eviction turning the cache over.
+		if d.degradeLevel >= 2 {
+			d.degradeTick++
+			if d.degradeTick%degradeAdmitSample != 0 {
+				d.ins.degradedLearns.Inc()
+				d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceShed, Key: key})
+				return
+			}
+		}
 		// A previously unknown session must pass the budget gate before it
 		// may occupy cache (and clash-tracker) state.
 		if !d.admitNewLocked(desc, now) {
@@ -844,6 +918,9 @@ func (d *Directory) candidatesLocked() []admission.Candidate {
 
 // applyActionsLocked executes clash protocol reactions.
 func (d *Directory) applyActionsLocked(actions []clash.Action, now time.Time) {
+	// The cached tier: suppressing phase-3 defenses is a load-shedding
+	// heuristic, so acting on a tier up to a second old is fine.
+	degraded := d.degradeLevel >= 1
 	for _, a := range actions {
 		key := string(a.Key)
 		switch a.Kind {
@@ -874,6 +951,13 @@ func (d *Directory) applyActionsLocked(actions []clash.Action, now time.Time) {
 				d.emit(Event{Kind: EventAddressChanged, Key: key, Desc: own.desc})
 			}
 		case clash.ActionDefendOther:
+			if degraded {
+				// Level ≥ 1: shed the optional phase-3 defense; the session's
+				// owner still defends its own address (phases 1 and 2 are
+				// never shed).
+				d.ins.degradedDefenses.Inc()
+				continue
+			}
 			if e, ok := d.cache.Get(key); ok {
 				if err := d.sendDescLocked(e.Desc, sap.Announce); err == nil {
 					d.ins.clashDefensesThrd.Inc()
@@ -899,6 +983,9 @@ func (d *Directory) step(now time.Time) {
 	if d.closed {
 		return
 	}
+	// Refresh the overload tier once per tick; the packet path reads the
+	// cached value until the next recount.
+	d.computeDegradeLocked(now)
 	// Announce due sessions in sorted key order, not map order: packet
 	// transmission order is observable (it drives receivers' clash timing
 	// and any fault-injecting transport's RNG draws), so it must be
@@ -1020,7 +1107,45 @@ func (d *Directory) Metrics() Metrics {
 		ForgedReports:       d.ins.forgedReports.Value(),
 		ForgedDeletes:       d.ins.forgedDeletes.Value(),
 		Evictions:           d.ins.evictions.Value(),
+		DegradedDefenses:    d.ins.degradedDefenses.Value(),
+		DegradedLearns:      d.ins.degradedLearns.Value(),
 	}
+}
+
+// computeDegradeLocked recounts the fresh cache occupancy against the
+// MaxSessions budget, maps it onto the overload tiers (see the degrade
+// constants; integer percent arithmetic, no floats), and caches the
+// result for the per-packet path. O(cache): call from the timer and
+// scrape paths only.
+func (d *Directory) computeDegradeLocked(now time.Time) int {
+	max := d.cfg.MaxSessions
+	if max <= 0 {
+		return 0
+	}
+	fresh := 0
+	for _, e := range d.cache.All() {
+		if !e.Deleted && now.Sub(e.LastHeard) < d.staleAfter {
+			fresh++
+		}
+	}
+	lvl := 0
+	switch {
+	case fresh*100 >= max*degradeL2Pct && max >= degradeMinBudget:
+		lvl = 2
+	case fresh*100 >= max*degradeL1Pct:
+		lvl = 1
+	}
+	d.degradeLevel = lvl
+	return lvl
+}
+
+// DegradationLevel reports the current overload tier: 0 normal, 1
+// phase-3 defenses suppressed, 2 listen-cache admissions sampled. Also
+// exported as the shed_degradation_level gauge.
+func (d *Directory) DegradationLevel() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.computeDegradeLocked(d.cfg.Clock())
 }
 
 // CacheSize returns the listened-session cache's total occupancy,

@@ -36,6 +36,7 @@ var DetRand = &Analyzer{
 		"sessiondir/internal/chaos",
 		"sessiondir/internal/admission",
 		"sessiondir/internal/obs",
+		"sessiondir/internal/relay",
 	},
 	Run: runDetRand,
 }

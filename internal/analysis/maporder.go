@@ -45,6 +45,7 @@ var MapOrder = &Analyzer{
 		"sessiondir/internal/chaos",
 		"sessiondir/internal/admission",
 		"sessiondir/internal/obs",
+		"sessiondir/internal/relay",
 	},
 	Run: runMapOrder,
 }

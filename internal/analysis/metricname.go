@@ -28,6 +28,7 @@ var MetricName = &Analyzer{
 		"sessiondir/internal/obs",
 		"sessiondir/internal/allocator",
 		"sessiondir/internal/transport",
+		"sessiondir/internal/relay",
 	},
 	Run: runMetricName,
 }

@@ -1,0 +1,502 @@
+// Package relay is a deterministic UDP fault relay: real daemon
+// processes exchange datagrams through it over real sockets, and every
+// directed link between two attached endpoints carries its own seeded
+// fault process — loss, duplication, single-bit corruption, and uniform
+// delay (which yields reordering whenever the sampled delays are not
+// monotone) — plus runtime-controllable partitions.
+//
+// The relay is the process-level counterpart of transport.FaultTransport
+// (DESIGN.md §10): FaultTransport injects faults into an in-process Bus
+// on virtual time; the relay injects the same fault vocabulary between
+// *processes* on wall time. Its determinism model is necessarily weaker
+// and is stated precisely here:
+//
+//   - Each directed link (i→j) owns a stats.RNG derived from the relay
+//     seed and the pair (i, j) alone — not from attachment order or any
+//     global draw sequence. The fault fate of the k-th packet to
+//     traverse link (i→j) is therefore a pure function of (seed, i, j, k).
+//   - Each attachment's ingress socket is read by one goroutine, and a
+//     single sender's datagrams arrive on it in send order on loopback,
+//     so per-link packet sequences — and hence per-link fault schedules —
+//     replay across runs even though cross-link interleaving does not.
+//   - Partitions consume no randomness, so flipping a partition on and
+//     off never shifts any link's draw sequence.
+//
+// Process-level chaos verdicts (cmd/mcchaos) build on exactly this: the
+// scripted schedule and the final invariants are seed-reproducible even
+// though individual packet timings are not.
+package relay
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sessiondir/internal/obs"
+	"sessiondir/internal/stats"
+)
+
+// maxDatagram matches the transport layer's default datagram cap.
+const maxDatagram = 64 * 1024
+
+// LinkProfile is the fault process applied to one directed link. The
+// zero value forwards everything unchanged.
+type LinkProfile struct {
+	// Loss is the independent per-packet drop probability.
+	Loss float64
+	// Duplicate is the probability a packet is forwarded twice; the copy
+	// samples its own delay, so duplicates also arrive reordered.
+	Duplicate float64
+	// Corrupt is the probability a single uniformly chosen bit of the
+	// forwarded copy is flipped (receivers must quarantine it).
+	Corrupt float64
+	// DelayMin and DelayMax bound a uniform per-packet forwarding delay.
+	// Both zero means forward inline; DelayMax > DelayMin yields
+	// reordering between packets whose sampled delays cross.
+	DelayMin, DelayMax time.Duration
+}
+
+// Config assembles a Relay.
+type Config struct {
+	// Seed derives every link's RNG stream. Required non-zero so a run
+	// can always name the seed it replays from.
+	Seed uint64
+	// Obs, when non-nil, registers the relay counters
+	// (relay_forwarded_total, relay_dropped_total, relay_duplicated_total,
+	// relay_corrupted_total, relay_delayed_total,
+	// relay_partition_drops_total) and the relay_partitions_active gauge.
+	Obs *obs.Registry
+}
+
+// Stats is a snapshot of the relay's aggregate forwarding decisions.
+type Stats struct {
+	Forwarded      uint64 // copies handed to the egress socket (duplicates included)
+	Dropped        uint64 // packets dropped by a link's loss draw
+	Duplicated     uint64 // extra copies created by duplication draws
+	Corrupted      uint64 // forwarded copies with one bit flipped
+	Delayed        uint64 // copies that sat in the delay queue
+	PartitionDrops uint64 // packets severed by an active partition
+	Pending        int    // delayed copies not yet delivered
+}
+
+// link is one directed (from, to) fault process. RNG draws happen in a
+// fixed per-packet order (loss, duplicate, corrupt, delay, dup-delay,
+// corrupt bit indices) so a link's schedule is a pure function of its
+// packet sequence.
+type link struct {
+	profile LinkProfile
+	rng     *stats.RNG
+}
+
+// attachment is one relayed endpoint: daemons send to in's address, and
+// deliveries destined for the endpoint go to dest.
+type attachment struct {
+	index int
+	in    *net.UDPConn
+	dest  netip.AddrPort
+}
+
+// delivery is one decided forwarding: data is always an owned copy by
+// the time it leaves the decision phase if it needs one (corruption or
+// delay); inline uncorrupted sends borrow the read buffer.
+type delivery struct {
+	data  []byte
+	to    netip.AddrPort
+	delay time.Duration
+}
+
+// Relay forwards datagrams between attached endpoints through per-link
+// fault processes. Safe for concurrent use; the fault decision phase for
+// one ingress datagram runs under one lock so each link's draw order is
+// well defined.
+type Relay struct {
+	cfg    Config
+	egress *net.UDPConn
+
+	mu     sync.Mutex
+	atts   []*attachment
+	links  map[[2]int]*link
+	groups map[int]int // attachment index → partition group; absent = severed
+	parted bool
+	closed bool
+
+	forwarded      atomic.Uint64
+	dropped        atomic.Uint64
+	duplicated     atomic.Uint64
+	corrupted      atomic.Uint64
+	delayed        atomic.Uint64
+	partitionDrops atomic.Uint64
+	pending        atomic.Int64
+
+	// timers holds the pending delayed deliveries so Close can cancel
+	// them instead of waiting out their delays. Fired or cancelled slots
+	// are nilled and reused, so the slice length is bounded by the peak
+	// number of concurrently pending deliveries.
+	timers []*time.Timer
+
+	wg sync.WaitGroup
+
+	ctl *controlServer // non-nil once ServeControl has bound
+}
+
+// New opens a relay. Attach endpoints, then point each daemon's peer
+// list at its returned ingress address.
+func New(cfg Config) (*Relay, error) {
+	if cfg.Seed == 0 {
+		return nil, fmt.Errorf("relay: Seed is required (runs must be replayable by seed)")
+	}
+	egress, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("relay: egress socket: %w", err)
+	}
+	r := &Relay{
+		cfg:    cfg,
+		egress: egress,
+		links:  make(map[[2]int]*link),
+		groups: make(map[int]int),
+	}
+	if cfg.Obs != nil {
+		if err := r.registerObs(cfg.Obs); err != nil {
+			_ = egress.Close() // registration failed before the relay was shared
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (r *Relay) registerObs(reg *obs.Registry) error {
+	views := []struct {
+		name, help string
+		src        *atomic.Uint64
+	}{
+		{"relay_forwarded_total", "copies forwarded to endpoints, duplicates included", &r.forwarded},
+		{"relay_dropped_total", "packets dropped by per-link loss draws", &r.dropped},
+		{"relay_duplicated_total", "extra copies created by duplication draws", &r.duplicated},
+		{"relay_corrupted_total", "forwarded copies with one flipped bit", &r.corrupted},
+		{"relay_delayed_total", "copies that sat in the delay queue", &r.delayed},
+		{"relay_partition_drops_total", "packets severed by an active partition", &r.partitionDrops},
+	}
+	for _, v := range views {
+		if err := reg.CounterFunc(v.name, v.help, v.src.Load); err != nil {
+			return fmt.Errorf("relay: %w", err)
+		}
+	}
+	if err := reg.GaugeFunc("relay_partitions_active",
+		"directed links currently severed by the active partition",
+		func() float64 { return float64(r.SeveredLinks()) }); err != nil {
+		return fmt.Errorf("relay: %w", err)
+	}
+	return nil
+}
+
+// Attach binds a fresh ingress socket for one endpoint whose deliveries
+// go to dest, returning the ingress address the endpoint must send to.
+// Attachment indices are assigned in call order, starting at 0.
+func (r *Relay) Attach(dest netip.AddrPort) (netip.AddrPort, int, error) {
+	in, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return netip.AddrPort{}, 0, fmt.Errorf("relay: ingress socket: %w", err)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = in.Close() // relay gone; nothing to undo
+		return netip.AddrPort{}, 0, fmt.Errorf("relay: closed")
+	}
+	a := &attachment{index: len(r.atts), in: in, dest: dest}
+	r.atts = append(r.atts, a)
+	if r.parted {
+		// Endpoints attached mid-partition are severed until the next
+		// Partition or Heal names them, matching Bus semantics.
+	} else {
+		r.groups[a.index] = 0
+	}
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.readLoop(a)
+	addr := in.LocalAddr().(*net.UDPAddr).AddrPort()
+	return addr, a.index, nil
+}
+
+// linkFor returns (creating on first use) the directed link i→j. Caller
+// holds r.mu. The RNG seed mixes the pair into the relay seed with two
+// odd 64-bit constants so streams are pair-unique and independent of
+// attachment or traffic order.
+func (r *Relay) linkFor(i, j int) *link {
+	k := [2]int{i, j}
+	l, ok := r.links[k]
+	if !ok {
+		seed := r.cfg.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15) ^ (uint64(j+1) * 0xbf58476d1ce4e5b9)
+		if seed == 0 {
+			seed = 1 // 0 would ask stats.NewRNG for its fixed default stream
+		}
+		l = &link{rng: stats.NewRNG(seed)}
+		r.links[k] = l
+	}
+	return l
+}
+
+// SetLink installs profile on the directed link from→to; -1 for either
+// side is a wildcard over all current attachments. Future attachments
+// start with clean links regardless of past wildcards.
+func (r *Relay) SetLink(from, to int, p LinkProfile) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.atts)
+	for i := 0; i < n; i++ {
+		if from >= 0 && i != from {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i || (to >= 0 && j != to) {
+				continue
+			}
+			r.linkFor(i, j).profile = p
+		}
+	}
+}
+
+// Partition splits the fabric into the given groups of attachment
+// indices; endpoints in no group are severed from everyone. Packets
+// whose endpoints share a group still flow (with their link faults).
+func (r *Relay) Partition(groups ...[]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.parted = true
+	r.groups = make(map[int]int)
+	for gi, g := range groups {
+		for _, idx := range g {
+			r.groups[idx] = gi
+		}
+	}
+}
+
+// Heal removes any active partition.
+func (r *Relay) Heal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.parted = false
+	r.groups = make(map[int]int)
+	for i := range r.atts {
+		r.groups[i] = 0
+	}
+}
+
+// blockedLocked reports whether the active partition severs i→j.
+func (r *Relay) blockedLocked(i, j int) bool {
+	if !r.parted {
+		return false
+	}
+	gi, oki := r.groups[i]
+	gj, okj := r.groups[j]
+	return !oki || !okj || gi != gj
+}
+
+// SeveredLinks counts the directed attachment pairs the active partition
+// currently blocks (0 when healed).
+func (r *Relay) SeveredLinks() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.parted {
+		return 0
+	}
+	n := 0
+	for i := range r.atts {
+		for j := range r.atts {
+			if i != j && r.blockedLocked(i, j) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of aggregate forwarding decisions.
+func (r *Relay) Stats() Stats {
+	return Stats{
+		Forwarded:      r.forwarded.Load(),
+		Dropped:        r.dropped.Load(),
+		Duplicated:     r.duplicated.Load(),
+		Corrupted:      r.corrupted.Load(),
+		Delayed:        r.delayed.Load(),
+		PartitionDrops: r.partitionDrops.Load(),
+		Pending:        int(r.pending.Load()),
+	}
+}
+
+// readLoop drains one attachment's ingress socket, deciding and
+// dispatching the fan-out for each datagram.
+func (r *Relay) readLoop(a *attachment) {
+	defer r.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := a.in.ReadFromUDP(buf)
+		if err != nil {
+			return // closed (or unrecoverable): the relay is shutting down
+		}
+		r.forward(a.index, buf[:n])
+	}
+}
+
+// forward runs the decision phase for one ingress datagram under the
+// lock — fixing each link's draw order — then performs inline sends and
+// schedules delayed ones outside it.
+func (r *Relay) forward(from int, data []byte) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	var out []delivery
+	for j := 0; j < len(r.atts); j++ {
+		if j == from {
+			continue
+		}
+		if r.blockedLocked(from, j) {
+			r.partitionDrops.Add(1)
+			continue
+		}
+		l := r.linkFor(from, j)
+		p := l.profile
+		// Fixed per-packet draw order; every draw happens even for fates
+		// that end up dropped, so one decision never shifts the next
+		// packet's schedule.
+		lost := p.Loss > 0 && l.rng.Bool(p.Loss)
+		dup := p.Duplicate > 0 && l.rng.Bool(p.Duplicate)
+		corrupt := p.Corrupt > 0 && l.rng.Bool(p.Corrupt)
+		delay := sampleDelay(l.rng, p)
+		var dupDelay time.Duration
+		if dup {
+			dupDelay = sampleDelay(l.rng, p)
+		}
+		dest := r.atts[j].dest
+		if lost {
+			r.dropped.Add(1)
+		} else {
+			out = append(out, r.makeDelivery(data, dest, corrupt, delay, l.rng))
+		}
+		if dup {
+			// The duplicate of a lost packet still flows: that models the
+			// network duplicating upstream of the loss point.
+			r.duplicated.Add(1)
+			out = append(out, r.makeDelivery(data, dest, corrupt, dupDelay, l.rng))
+		}
+	}
+	r.mu.Unlock()
+	for _, d := range out {
+		r.dispatch(d)
+	}
+}
+
+// makeDelivery builds one forwarding: corrupted or delayed copies own
+// their bytes; clean inline sends borrow the caller's buffer (consumed
+// before forward returns). Caller holds r.mu.
+func (r *Relay) makeDelivery(data []byte, to netip.AddrPort, corrupt bool, delay time.Duration, rng *stats.RNG) delivery {
+	payload := data
+	if corrupt || delay > 0 {
+		payload = append([]byte(nil), data...)
+	}
+	if corrupt && len(payload) > 0 {
+		bit := rng.IntN(len(payload) * 8)
+		payload[bit/8] ^= 1 << (bit % 8)
+		r.corrupted.Add(1)
+	}
+	return delivery{data: payload, to: to, delay: delay}
+}
+
+// dispatch sends one decided delivery, inline or after its delay.
+func (r *Relay) dispatch(d delivery) {
+	if d.delay <= 0 {
+		r.send(d.data, d.to)
+		return
+	}
+	r.delayed.Add(1)
+	r.pending.Add(1)
+	r.wg.Add(1)
+	var slot int
+	var tm *time.Timer
+	tm = time.AfterFunc(d.delay, func() {
+		defer r.wg.Done()
+		defer r.pending.Add(-1)
+		r.mu.Lock()
+		closed := r.closed
+		if slot < len(r.timers) && r.timers[slot] == tm {
+			r.timers[slot] = nil
+		}
+		r.mu.Unlock()
+		if !closed {
+			r.send(d.data, d.to)
+		}
+	})
+	r.mu.Lock()
+	slot = r.addTimerLocked(tm)
+	r.mu.Unlock()
+}
+
+// addTimerLocked records a pending timer in the first free slot (slots
+// are never moved, so the index a timer's callback captured stays valid
+// for its lifetime). Returns the slot index. In the rare case where a
+// near-zero delay fires the callback before this registration, the
+// callback's tm-identity check simply misses and the fired timer's entry
+// stays behind as an inert non-nil slot; Close's Stop on it returns
+// false, so nothing double-counts.
+func (r *Relay) addTimerLocked(tm *time.Timer) int {
+	for i, t := range r.timers {
+		if t == nil {
+			r.timers[i] = tm
+			return i
+		}
+	}
+	r.timers = append(r.timers, tm)
+	return len(r.timers) - 1
+}
+
+func (r *Relay) send(data []byte, to netip.AddrPort) {
+	if _, err := r.egress.WriteToUDPAddrPort(data, to); err != nil {
+		return // receiver gone or buffer full: indistinguishable from link loss
+	}
+	r.forwarded.Add(1)
+}
+
+func sampleDelay(rng *stats.RNG, p LinkProfile) time.Duration {
+	if p.DelayMax <= p.DelayMin {
+		return p.DelayMin
+	}
+	return p.DelayMin + time.Duration(rng.Float64()*float64(p.DelayMax-p.DelayMin))
+}
+
+// Close shuts every socket and drops undelivered delayed copies. Safe to
+// call more than once.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	atts := r.atts
+	ctl := r.ctl
+	// Cancel pending delayed deliveries so Close does not wait out their
+	// delays. A Stop that loses the race to a firing callback returns
+	// false and that callback does its own bookkeeping (and sees closed).
+	for i, tm := range r.timers {
+		if tm != nil && tm.Stop() {
+			r.timers[i] = nil
+			r.wg.Done()
+			r.pending.Add(-1)
+		}
+	}
+	r.mu.Unlock()
+	for _, a := range atts {
+		_ = a.in.Close() // shutdown path; read loops exit on the close error
+	}
+	if ctl != nil {
+		_ = ctl.conn.Close() // same: unblocks the control loop
+	}
+	err := r.egress.Close()
+	r.wg.Wait()
+	return err
+}

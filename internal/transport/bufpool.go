@@ -15,10 +15,11 @@ import (
 // handler that forgets (or deliberately declines) to release leaks
 // nothing — it only forfeits reuse, which the miss counter makes visible.
 type bufPool struct {
-	size   int
-	pool   sync.Pool
-	hits   atomic.Uint64 // gets served from the pool
-	misses atomic.Uint64 // gets that had to allocate fresh
+	size    int
+	pool    sync.Pool
+	hits    atomic.Uint64 // gets served from the pool
+	misses  atomic.Uint64 // gets that had to allocate fresh
+	returns atomic.Uint64 // buffers handed back via put (Message.Release)
 }
 
 func newBufPool(size int) *bufPool {
@@ -41,6 +42,7 @@ func (p *bufPool) put(b *[]byte) {
 	if b == nil || cap(*b) < p.size {
 		return // foreign or undersized buffer; let the GC have it
 	}
+	p.returns.Add(1)
 	*b = (*b)[:p.size]
 	p.pool.Put(b)
 }

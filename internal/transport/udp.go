@@ -41,6 +41,12 @@ const (
 	readBackoffJitter = 0.25
 )
 
+// rebindAfterErrors is how many consecutive read failures the loop
+// tolerates before concluding the socket itself is dead and attempting a
+// rebind (immediately on net.ErrClosed — someone pulled the socket out
+// from under us — since no amount of backing off revives that).
+const rebindAfterErrors = 8
+
 // UDPConfig parameterises a UDP transport.
 type UDPConfig struct {
 	// Group is the multicast group to join and send to; zero means the
@@ -77,19 +83,28 @@ type UDPMetrics struct {
 	Runts       uint64 // datagrams too short for a SAP header, quarantined
 	ReadErrors  uint64 // socket read failures (each backed off before retry)
 	ReadBatches uint64 // ReadBatch calls that returned datagrams (≈ receive syscalls)
+	Rebinds     uint64 // socket rebinds after persistent read failures
 	PoolHits    uint64 // receive buffers served from the pool
 	PoolMisses  uint64 // receive buffers freshly allocated
+	PoolReturns uint64 // receive buffers handed back via Message.Release
+}
+
+// udpIO pairs a socket with its platform batch reader/writer. The pair
+// is swapped atomically on rebind, so the read loop and senders always
+// agree on which generation of socket they are using.
+type udpIO struct {
+	conn *net.UDPConn
+	bc   batchConn // recvmmsg/sendmmsg on linux, singleConn elsewhere
 }
 
 // UDPTransport sends and receives SAP datagrams over real sockets.
 type UDPTransport struct {
-	conn   *net.UDPConn
-	bc     batchConn // recvmmsg/sendmmsg on linux, singleConn elsewhere
-	pool   *bufPool  // receive buffers, returned via Message.Release
-	group  *net.UDPAddr // nil in unicast mode
+	io     atomic.Pointer[udpIO]        // current socket generation
+	mkConn func() (*net.UDPConn, error) // reopens the socket at the same address/group
+	pool   *bufPool                     // receive buffers, returned via Message.Release
+	group  *net.UDPAddr                 // nil in unicast mode
 	peers  []netip.AddrPort
 	local  netip.AddrPort
-	setTTL func(int) error
 	maxPkt int
 
 	received    atomic.Uint64
@@ -97,6 +112,13 @@ type UDPTransport struct {
 	runts       atomic.Uint64
 	readErrors  atomic.Uint64
 	readBatches atomic.Uint64
+	rebinds     atomic.Uint64
+
+	// Drain state, written once by DrainClose and read by the loop with
+	// atomics so the hot path never takes a lock for it.
+	draining   atomic.Bool
+	drainQuiet atomic.Int64 // quiet window, ns
+	drainStop  atomic.Int64 // hard deadline, unix ns
 
 	// handler is looked up lock-free once per batch; the mutex below only
 	// guards the close handshake, never the per-datagram path.
@@ -105,9 +127,10 @@ type UDPTransport struct {
 	// datagrams each receive syscall retired.
 	batchSizes atomic.Pointer[obs.Histogram]
 
-	mu     sync.Mutex
-	closed bool
-	done   chan struct{}
+	mu       sync.Mutex
+	closed   bool
+	done     chan struct{}
+	loopDone chan struct{} // closed when readLoop exits (drain or close)
 }
 
 var (
@@ -148,8 +171,10 @@ func (t *UDPTransport) registerObs(r *obs.Registry) error {
 		{"udp_runts_total", "datagrams too short for a SAP header, quarantined", &t.runts},
 		{"udp_read_errors_total", "socket read failures, each backed off before retry", &t.readErrors},
 		{"udp_read_batches_total", "receive syscalls that returned datagrams (batched reads)", &t.readBatches},
+		{"udp_rebind_total", "socket rebinds after persistent read failures", &t.rebinds},
 		{"udp_rx_pool_hits_total", "receive buffers served from the pool", &t.pool.hits},
 		{"udp_rx_pool_misses_total", "receive buffers freshly allocated on pool miss", &t.pool.misses},
+		{"udp_rx_pool_returns_total", "receive buffers returned to the pool via Message.Release", &t.pool.returns},
 	}
 	for _, v := range views {
 		if err := r.CounterFunc(v.name, v.help, v.src.Load); err != nil {
@@ -202,13 +227,16 @@ func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &UDPTransport{
-		conn:   conn,
 		peers:  append([]netip.AddrPort(nil), cfg.Peers...),
-		setTTL: func(int) error { return nil }, // TTL is advisory in unicast mode
 		maxPkt: maxPacket(cfg),
 		done:   make(chan struct{}),
 	}
-	t.initIO()
+	t.initIO(conn)
+	t.mkConn = func() (*net.UDPConn, error) {
+		// Rebind to the resolved address (the ephemeral port, if one was
+		// assigned, is now pinned) so peers keep reaching us.
+		return net.ListenUDP("udp4", net.UDPAddrFromAddrPort(t.local))
+	}
 	go t.readLoop()
 	return t, nil
 }
@@ -216,10 +244,11 @@ func newUnicastUDP(cfg UDPConfig) (*UDPTransport, error) {
 // initIO sets up the batched I/O path: the buffer pool (one spare byte
 // past the cap distinguishes "exactly MaxPacket" from "kernel truncated
 // something larger") and the platform batchConn.
-func (t *UDPTransport) initIO() {
+func (t *UDPTransport) initIO(conn *net.UDPConn) {
 	t.pool = newBufPool(t.maxPkt + 1)
-	t.bc = newBatchConnFn(t.conn)
-	t.local = t.conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	t.local = conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	t.loopDone = make(chan struct{})
+	t.io.Store(&udpIO{conn: conn, bc: newBatchConnFn(conn)})
 }
 
 // newBatchConnFn is the batchConn constructor, a variable so the
@@ -245,17 +274,27 @@ func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 		return nil, fmt.Errorf("transport: join %s: %w", gaddr, err)
 	}
 	t := &UDPTransport{
-		conn:   conn,
 		group:  gaddr,
 		maxPkt: maxPacket(cfg),
 		done:   make(chan struct{}),
 	}
-	t.setTTL = func(ttl int) error {
-		return setMulticastTTL(conn, ttl)
+	t.initIO(conn)
+	t.mkConn = func() (*net.UDPConn, error) {
+		// Rejoining the group re-subscribes the fresh socket via IGMP.
+		return net.ListenMulticastUDP("udp4", nil, gaddr)
 	}
-	t.initIO()
 	go t.readLoop()
 	return t, nil
+}
+
+// applyTTL sets the multicast TTL sockopt for the next send; in unicast
+// mode the TTL is advisory (carried in-band by SAP semantics) and this
+// is a no-op.
+func (t *UDPTransport) applyTTL(conn *net.UDPConn, ttl int) error {
+	if t.group == nil {
+		return nil
+	}
+	return setMulticastTTL(conn, ttl)
 }
 
 // readLoop drains the socket through the batchConn: one blocking call
@@ -266,6 +305,7 @@ func newMulticastUDP(cfg UDPConfig) (*UDPTransport, error) {
 // loop body takes no locks: the handler pointer is an atomic load once
 // per batch, and all counters are atomics.
 func (t *UDPTransport) readLoop() {
+	defer close(t.loopDone)
 	slots := make([]rxSlot, readBatchSize)
 	for i := range slots {
 		slots[i].buf = t.pool.get()
@@ -275,8 +315,10 @@ func (t *UDPTransport) readLoop() {
 	// distinct sockets get distinct ports, hence distinct streams.
 	rng := stats.NewRNG(uint64(t.local.Port()) + 1)
 	backoff := time.Duration(0)
+	errRun := 0
 	for {
-		n, err := t.bc.ReadBatch(slots)
+		cur := t.io.Load()
+		n, err := cur.bc.ReadBatch(slots)
 		if err != nil {
 			select {
 			case <-t.done:
@@ -284,17 +326,33 @@ func (t *UDPTransport) readLoop() {
 			default:
 			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if t.draining.Load() {
+					// Every deadline armed during a drain encodes "quiet
+					// window elapsed" (clamped to the hard stop), so a
+					// timeout here means the socket went silent: done.
+					return
+				}
 				continue
 			}
 			// Persistent errors (interface loss, ENOBUFS storms) back off
 			// exponentially with jitter instead of spinning at a fixed
-			// 10 ms; any successful read resets the schedule.
+			// 10 ms; any successful read resets the schedule. A closed
+			// socket never recovers by waiting — rebind immediately —
+			// and a long enough error run earns the same treatment.
 			t.readErrors.Add(1)
+			errRun++
+			if errors.Is(err, net.ErrClosed) || errRun >= rebindAfterErrors {
+				if t.rebind(cur) {
+					errRun, backoff = 0, 0
+					continue
+				}
+			}
 			backoff = nextReadBackoff(backoff, rng)
 			time.Sleep(backoff)
 			continue
 		}
-		backoff = 0
+		errRun, backoff = 0, 0
+		t.armDrainDeadline(cur)
 		t.readBatches.Add(1)
 		if hist := t.batchSizes.Load(); hist != nil {
 			hist.Observe(int64(n))
@@ -318,6 +376,79 @@ func (t *UDPTransport) readLoop() {
 			s.buf = t.pool.get() // ownership moved to the handler
 		}
 	}
+}
+
+// rebind replaces a dead socket with a fresh one bound to the same
+// address (rejoining the group in multicast mode) and swaps it in
+// atomically. It refuses during drain or after close, and only swaps if
+// prev is still the current generation, so a raced rebind cannot strand
+// a live socket.
+func (t *UDPTransport) rebind(prev *udpIO) bool {
+	if t.draining.Load() {
+		return false // shutting down; no point resurrecting the socket
+	}
+	conn, err := t.mkConn()
+	if err != nil {
+		return false // address still unavailable; the caller backs off
+	}
+	next := &udpIO{conn: conn, bc: newBatchConnFn(conn)}
+	t.mu.Lock()
+	if t.closed || t.io.Load() != prev { //mclint:lockscope atomic pointer read; the generation check must be inside mu to pair with Close
+		t.mu.Unlock()
+		_ = conn.Close() // lost the race; keep whichever socket won
+		return false
+	}
+	t.io.Store(next) //mclint:lockscope atomic pointer write under mu so Close never races a swap and strands a socket
+	t.mu.Unlock()
+	_ = prev.conn.Close() // usually already dead; closing twice is harmless
+	t.rebinds.Add(1)
+	return true
+}
+
+// armDrainDeadline pushes the drain quiet window out past freshly
+// received traffic, clamped to the drain's hard stop, so the loop only
+// exits once the socket has gone silent (or the drain budget ran out).
+func (t *UDPTransport) armDrainDeadline(cur *udpIO) {
+	if !t.draining.Load() {
+		return
+	}
+	next := time.Now().Add(time.Duration(t.drainQuiet.Load())) //mclint:detrand drain deadlines are real socket deadlines; wall time is the boundary here
+	if stop := time.Unix(0, t.drainStop.Load()); next.After(stop) {
+		next = stop
+	}
+	_ = cur.conn.SetReadDeadline(next) // best effort; Close still bounds the drain
+}
+
+// DrainClose shuts the receive path down gracefully: the read loop stays
+// alive until quiet has elapsed with no datagrams — so a tail burst
+// already queued in the kernel's socket buffer still reaches the handler
+// — bounded by max overall, then the transport is closed. Safe to call
+// concurrently with Close; either way the transport ends closed.
+func (t *UDPTransport) DrainClose(quiet, max time.Duration) error {
+	if quiet <= 0 {
+		quiet = 50 * time.Millisecond
+	}
+	if max < quiet {
+		max = quiet
+	}
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil
+	}
+	t.drainQuiet.Store(int64(quiet))
+	t.drainStop.Store(time.Now().Add(max).UnixNano()) //mclint:detrand the drain budget bounds a real socket shutdown; wall time is the boundary here
+	t.draining.Store(true)
+	// Wake a read blocked with no deadline so the quiet window starts now.
+	_ = t.io.Load().conn.SetReadDeadline(time.Now().Add(quiet)) //mclint:detrand real socket deadline; wall time is the boundary here
+	select {
+	case <-t.loopDone:
+	case <-time.After(max + quiet + time.Second):
+		// The loop missed the deadline (e.g. a rebind raced the drain
+		// flag onto a fresh socket); Close below unblocks it regardless.
+	}
+	return t.Close()
 }
 
 // nextReadBackoff doubles cur (starting from readBackoffMin), applies
@@ -348,8 +479,10 @@ func (t *UDPTransport) Metrics() UDPMetrics {
 		Runts:       t.runts.Load(),
 		ReadErrors:  t.readErrors.Load(),
 		ReadBatches: t.readBatches.Load(),
+		Rebinds:     t.rebinds.Load(),
 		PoolHits:    t.pool.hits.Load(),
 		PoolMisses:  t.pool.misses.Load(),
+		PoolReturns: t.pool.returns.Load(),
 	}
 }
 
@@ -363,17 +496,18 @@ func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) e
 	if closed {
 		return ErrClosed
 	}
+	cur := t.io.Load()
 	if dl, ok := ctx.Deadline(); ok {
-		if err := t.conn.SetWriteDeadline(dl); err != nil {
+		if err := cur.conn.SetWriteDeadline(dl); err != nil {
 			return fmt.Errorf("transport: set deadline: %w", err)
 		}
-		defer func() { _ = t.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
+		defer func() { _ = cur.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
 	}
 	if t.group != nil {
-		if err := t.setTTL(int(scope)); err != nil {
+		if err := t.applyTTL(cur.conn, int(scope)); err != nil {
 			return fmt.Errorf("transport: set TTL: %w", err)
 		}
-		if _, err := t.conn.WriteToUDP(data, t.group); err != nil {
+		if _, err := cur.conn.WriteToUDP(data, t.group); err != nil {
 			return fmt.Errorf("transport: send: %w", err)
 		}
 		return nil
@@ -381,7 +515,7 @@ func (t *UDPTransport) Send(ctx context.Context, data []byte, scope mcast.TTL) e
 	var errs []error
 	for _, p := range t.peers {
 		ua := net.UDPAddrFromAddrPort(p)
-		if _, err := t.conn.WriteToUDP(data, ua); err != nil {
+		if _, err := cur.conn.WriteToUDP(data, ua); err != nil {
 			errs = append(errs, fmt.Errorf("transport: send to %s: %w", p, err))
 		}
 	}
@@ -402,11 +536,12 @@ func (t *UDPTransport) SendBatch(ctx context.Context, batch []Datagram) error {
 	if closed {
 		return ErrClosed
 	}
+	cur := t.io.Load()
 	if dl, ok := ctx.Deadline(); ok {
-		if err := t.conn.SetWriteDeadline(dl); err != nil {
+		if err := cur.conn.SetWriteDeadline(dl); err != nil {
 			return fmt.Errorf("transport: set deadline: %w", err)
 		}
-		defer func() { _ = t.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
+		defer func() { _ = cur.conn.SetWriteDeadline(time.Time{}) }() // best-effort reset
 	}
 	if t.group == nil {
 		// Unicast fan-out: batch × peers, errors joined like Send's loop.
@@ -416,7 +551,7 @@ func (t *UDPTransport) SendBatch(ctx context.Context, batch []Datagram) error {
 				pkts = append(pkts, txPkt{data: d.Data, to: p})
 			}
 		}
-		return t.bc.WriteBatch(pkts)
+		return cur.bc.WriteBatch(pkts)
 	}
 	group := t.group.AddrPort()
 	pkts := make([]txPkt, 0, len(batch))
@@ -428,14 +563,14 @@ func (t *UDPTransport) SendBatch(ctx context.Context, batch []Datagram) error {
 		for j < len(batch) && batch[j].Scope == batch[i].Scope {
 			j++
 		}
-		if err := t.setTTL(int(batch[i].Scope)); err != nil {
+		if err := t.applyTTL(cur.conn, int(batch[i].Scope)); err != nil {
 			return fmt.Errorf("transport: set TTL: %w", err)
 		}
 		pkts = pkts[:0]
 		for _, d := range batch[i:j] {
 			pkts = append(pkts, txPkt{data: d.Data, to: group})
 		}
-		if err := t.bc.WriteBatch(pkts); err != nil {
+		if err := cur.bc.WriteBatch(pkts); err != nil {
 			errs = append(errs, err)
 		}
 		i = j
@@ -468,5 +603,5 @@ func (t *UDPTransport) Close() error {
 	close(t.done)
 	t.mu.Unlock()
 	t.handler.Store(nil)
-	return t.conn.Close()
+	return t.io.Load().conn.Close()
 }

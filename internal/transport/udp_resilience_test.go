@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Resilience tests: socket rebind after external close, graceful drain
+// before close, and pool-return accounting. These are the transport
+// behaviours the process-chaos harness leans on.
+
+// spareAddr returns the address of a bound-and-held UDP socket, giving
+// tests a peer address that is guaranteed not to collide.
+func spareAddr(t *testing.T) netip.AddrPort {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c.LocalAddr().(*net.UDPAddr).AddrPort()
+}
+
+func newUnicastForTest(t *testing.T) *UDPTransport {
+	t.Helper()
+	tr, err := NewUDP(UDPConfig{
+		Peers:      []netip.AddrPort{spareAddr(t)},
+		ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	return tr
+}
+
+// newInjector returns a raw socket for pushing datagrams at a transport.
+func newInjector(t *testing.T) *net.UDPConn {
+	t.Helper()
+	c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestRebindAfterSocketClosed yanks the transport's socket out from
+// under it and checks the read loop rebinds to the same port and keeps
+// receiving.
+func TestRebindAfterSocketClosed(t *testing.T) {
+	tr := newUnicastForTest(t)
+	var got atomic.Uint64
+	tr.Subscribe(func(m Message) {
+		got.Add(1)
+		m.Release()
+	})
+
+	_ = tr.io.Load().conn.Close() // simulate the socket dying under the loop
+
+	inj := newInjector(t)
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no datagram received after socket close; rebinds=%d, readErrors=%d",
+				tr.Metrics().Rebinds, tr.Metrics().ReadErrors)
+		}
+		if _, err := inj.WriteToUDPAddrPort([]byte("ping"), tr.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tr.Metrics().Rebinds == 0 {
+		t.Fatal("datagram received but rebind counter is zero")
+	}
+}
+
+// TestDrainCloseDeliversTailBurst sends a burst and immediately drains;
+// everything queued in the kernel's socket buffer must still reach the
+// handler before the transport closes. A plain Close would discard it.
+func TestDrainCloseDeliversTailBurst(t *testing.T) {
+	tr := newUnicastForTest(t)
+	var got atomic.Uint64
+	tr.Subscribe(func(m Message) {
+		got.Add(1)
+		m.Release()
+	})
+
+	inj := newInjector(t)
+	const burst = 120
+	for i := 0; i < burst; i++ {
+		if _, err := inj.WriteToUDPAddrPort([]byte("data"), tr.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.DrainClose(300*time.Millisecond, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := got.Load(); n != burst {
+		t.Fatalf("drain delivered %d of %d datagrams", n, burst)
+	}
+	if m := tr.Metrics(); m.PoolReturns < burst {
+		t.Fatalf("pool returns = %d after releasing %d messages", m.PoolReturns, burst)
+	}
+	if err := tr.Send(context.Background(), []byte("data"), 1); err != ErrClosed {
+		t.Fatalf("Send after DrainClose = %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainCloseAfterClose is a no-op on an already-closed transport.
+func TestDrainCloseAfterClose(t *testing.T) {
+	tr := newUnicastForTest(t)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := tr.DrainClose(time.Second, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("DrainClose on closed transport took %v", elapsed)
+	}
+}
+
+// TestBufPoolReturnsCounter pins the accounting contract the chaos
+// harness's leak invariant reads: pooled returns count, foreign buffers
+// do not.
+func TestBufPoolReturnsCounter(t *testing.T) {
+	p := newBufPool(64)
+	b := p.get()
+	p.put(b)
+	if n := p.returns.Load(); n != 1 {
+		t.Fatalf("returns = %d after one put, want 1", n)
+	}
+	small := make([]byte, 1)
+	p.put(&small) // foreign buffer: dropped, not counted
+	p.put(nil)
+	if n := p.returns.Load(); n != 1 {
+		t.Fatalf("returns = %d after foreign puts, want still 1", n)
+	}
+}
