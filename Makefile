@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json chaos adversary proc-chaos proc-chaos-extended bench bench-snapshot
+.PHONY: all build test race vet lint lint-json chaos adversary proc-chaos proc-chaos-extended storage-chaos storage-chaos-extended bench bench-snapshot
 
 all: build vet lint test
 
@@ -62,6 +62,21 @@ proc-chaos:
 # PROC_CHAOS_ARTIFACTS, when set, collects daemon logs and verdicts.
 proc-chaos-extended:
 	PROC_CHAOS_EXTENDED=1 $(GO) test -count=1 -timeout 20m -run TestProcChaos ./cmd/mcchaos
+
+# The storage-fault gate: the crash-point torture harness enumerates a
+# simulated crash after every VFS operation of a save/append/compact
+# script (under each crash mode), plus the seeded fault soak and the
+# FaultFS replay-identity check — recovery must always land on a valid
+# pre- or post-op state and acked appends must never be lost
+# (DESIGN.md §16). Quick tier, seconds of wall time.
+storage-chaos:
+	$(GO) test -race -count=1 -run 'TestCrashPoint|TestFaultSoak|TestFaultFSDeterministicReplay|TestMemFSCrashDurability' ./internal/storage
+
+# Nightly tier: the extended crash-point sweep (longer op script, more
+# seeds, all crash modes) and the kill -9 journal e2e.
+storage-chaos-extended:
+	STORAGE_CHAOS_EXTENDED=1 $(GO) test -race -count=1 -timeout 20m -run 'TestCrashPoint|TestFaultSoak' ./internal/storage
+	$(GO) test -count=1 -timeout 10m -run TestSdrdKillMidJournal .
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...

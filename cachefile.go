@@ -1,36 +1,65 @@
 package sessiondir
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"io/fs"
 	"os"
+	"path/filepath"
 
 	"sessiondir/internal/announce"
+	"sessiondir/internal/storage"
 )
 
 // SaveCacheFile persists the listened-session cache to path atomically
-// (temp file, fsync, rename): a crash mid-save — or a kill -9 between
-// periodic checkpoints — leaves the previous complete cache in place
-// rather than a torn file.
+// (temp file, fsync, rename) in the legacy line-oriented format: a
+// crash mid-save — or a kill -9 between periodic checkpoints — leaves
+// the previous complete cache in place rather than a torn file. The
+// journaled store (OpenCacheStore / CacheStore.Checkpoint) supersedes
+// this for daemons; SaveCacheFile remains for one-shot exports.
 func (d *Directory) SaveCacheFile(path string) error {
 	return announce.AtomicWriteFile(path, func(w io.Writer) error {
 		return d.SaveCache(w)
 	})
 }
 
-// LoadCacheFile merges a persisted cache from path. A missing file is a
-// normal cold start (0, nil); a corrupt or truncated file returns a
-// diagnosable error with whatever entries were salvageable already merged,
-// and the directory remains fully usable either way.
+// LoadCacheFile merges a persisted cache from path, accepting both the
+// framed journaled-checkpoint format (snapshot plus sibling journal,
+// recovered exactly the way a restarted daemon would) and the legacy
+// "sdcache v1" text format. A missing file is a normal cold start
+// (0, nil). For legacy files a corrupt or truncated file returns a
+// diagnosable error with whatever entries were salvageable already
+// merged; framed damage is handled by the store itself (torn tails
+// dropped, corrupt files quarantined) and is not an error here. The
+// directory remains fully usable either way.
 func (d *Directory) LoadCacheFile(path string) (int, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return 0, nil
 	}
 	if err != nil {
 		return 0, err
 	}
-	defer func() { _ = f.Close() }() // read-only handle; nothing to act on
-	return d.LoadCache(f)
+	if !storage.HasMagic(data) {
+		return d.LoadCache(bytes.NewReader(data))
+	}
+	loaded := 0
+	st, _, err := storage.Open(storage.NewOSFS(filepath.Dir(path)), filepath.Base(path), storage.OpenOptions{
+		Replay: func(p []byte) error {
+			added, rerr := d.applyCacheRecord(p)
+			if added {
+				loaded++
+			}
+			return rerr
+		},
+	})
+	if err != nil {
+		return loaded, err
+	}
+	_ = st.Close() // opened read-only; nothing buffered
+	d.mu.Lock()
+	d.registerLoadedLocked(d.cfg.Clock())
+	d.mu.Unlock()
+	return loaded, nil
 }

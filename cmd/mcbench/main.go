@@ -43,11 +43,13 @@ import (
 	"sessiondir"
 	"sessiondir/internal/allocator"
 	"sessiondir/internal/experiments"
+	"sessiondir/internal/announce"
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/obs"
 	"sessiondir/internal/sap"
 	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
+	"sessiondir/internal/storage"
 	"sessiondir/internal/transport"
 )
 
@@ -217,6 +219,112 @@ func microBenches() []microBenchResult {
 			BytesOp:  res.AllocedBytesPerOp(),
 		})
 	}
+
+	out = append(out, checkpointMicros()...)
+	return out
+}
+
+// checkpointSessions is the cache population for the persistence
+// micros: big enough that the O(sessions) vs O(delta) gap is
+// unambiguous, small enough to keep the bench quick.
+const checkpointSessions = 1000
+
+// checkpointMicros pits the journaled store's per-delta append (what
+// the daemon now pays per learned session, measured over an in-memory
+// VFS) against the frozen legacy full-snapshot rewrite (what every
+// periodic checkpoint used to cost at checkpointSessions cached
+// sessions). The budget gate pins the O(delta)-vs-O(sessions) claim:
+// one append must stay far cheaper than one full snapshot.
+func checkpointMicros() []microBenchResult {
+	descs := make([]*session.Description, checkpointSessions)
+	payloads := make([][]byte, checkpointSessions)
+	for i := range descs {
+		descs[i] = &session.Description{
+			ID:      uint64(9000 + i),
+			Version: 1,
+			Origin:  netip.AddrFrom4([4]byte{10, 9, byte(i >> 8), byte(i)}),
+			Name:    fmt.Sprintf("checkpoint-bench-%d", i),
+			Group:   netip.AddrFrom4([4]byte{224, 2, byte(i >> 8), byte(i)}),
+			TTL:     127,
+			Media:   []session.Media{{Type: "audio", Port: 20000, Proto: "RTP/AVP", Format: "0"}},
+		}
+		sdp, err := descs[i].MarshalSDP()
+		if err != nil {
+			panic(err)
+		}
+		// The journaled learn-delta framing: kind byte, two timestamps,
+		// SDP bytes — same shape sessiondir writes.
+		p := make([]byte, 0, 17+len(sdp))
+		p = append(p, 'L')
+		p = append(p, make([]byte, 16)...)
+		payloads[i] = append(p, sdp...)
+	}
+
+	var out []microBenchResult
+
+	// Per-delta journal append, with the journal periodically rotated
+	// outside the timer so the bench measures appends, not MemFS growth.
+	fs := storage.NewMemFS()
+	st, _, err := storage.Open(fs, "bench.cache", storage.OpenOptions{
+		Replay: func([]byte) error { return nil },
+	})
+	if err != nil {
+		panic(err)
+	}
+	rotate := func() {
+		if cerr := st.Compact(func(add func([]byte) error) error {
+			for _, p := range payloads {
+				if aerr := add(p); aerr != nil {
+					return aerr
+				}
+			}
+			return nil
+		}); cerr != nil {
+			panic(cerr)
+		}
+	}
+	rotate()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i%65536 == 65535 {
+				b.StopTimer()
+				rotate()
+				b.StartTimer()
+			}
+			if aerr := st.Append(payloads[i%checkpointSessions]); aerr != nil {
+				b.Fatal(aerr)
+			}
+		}
+	})
+	out = append(out, microBenchResult{
+		Name:     "CheckpointJournalAppend",
+		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsOp: res.AllocsPerOp(),
+		BytesOp:  res.AllocedBytesPerOp(),
+	})
+
+	// The frozen baseline: one legacy-format full-cache snapshot per
+	// checkpoint, O(sessions) every time.
+	cache := announce.NewCache(time.Hour)
+	now := time.Date(1998, 9, 1, 12, 0, 0, 0, time.UTC)
+	for _, d := range descs {
+		cache.Restore(d, now, now, now)
+	}
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if serr := cache.Save(io.Discard); serr != nil {
+				b.Fatal(serr)
+			}
+		}
+	})
+	out = append(out, microBenchResult{
+		Name:     "CheckpointSnapshotLegacy",
+		NsPerOp:  float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsOp: res.AllocsPerOp(),
+		BytesOp:  res.AllocedBytesPerOp(),
+	})
 	return out
 }
 
@@ -262,7 +370,10 @@ func sampleSAPWire() []byte {
 //     receive path runs on every datagram);
 //   - on linux, ≥10 datagrams retired per receive syscall (recvmmsg
 //     amortization) and the batched drain at least as fast per datagram
-//     as the frozen pre-batching baseline.
+//     as the frozen pre-batching baseline;
+//   - one journaled checkpoint delta append at most 1/20th of a legacy
+//     full-snapshot rewrite at 1000 cached sessions — the O(delta) vs
+//     O(sessions) persistence claim.
 func budgetFailures(r benchReport) []string {
 	micro := make(map[string]microBenchResult, len(r.Micro))
 	for _, m := range r.Micro {
@@ -278,6 +389,17 @@ func budgetFailures(r benchReport) []string {
 		fails = append(fails, "budget: micro SAPDecodeZeroCopy missing from report")
 	} else if m.AllocsOp != 0 {
 		fails = append(fails, fmt.Sprintf("budget: SAPDecodeZeroCopy %d allocs/op, budget 0", m.AllocsOp))
+	}
+	app, haveApp := micro["CheckpointJournalAppend"]
+	snap, haveSnap := micro["CheckpointSnapshotLegacy"]
+	switch {
+	case !haveApp:
+		fails = append(fails, "budget: micro CheckpointJournalAppend missing from report")
+	case !haveSnap:
+		fails = append(fails, "budget: micro CheckpointSnapshotLegacy missing from report")
+	case app.NsPerOp > 0 && snap.NsPerOp/app.NsPerOp < 20:
+		fails = append(fails, fmt.Sprintf("budget: journal append %.0f ns is only 1/%.1f of a full snapshot (%.0f ns), budget ≤ 1/20 (O(delta) vs O(sessions))",
+			app.NsPerOp, snap.NsPerOp/app.NsPerOp, snap.NsPerOp))
 	}
 	batch, haveBatch := micro["UDPRecvBatch"]
 	if !haveBatch {

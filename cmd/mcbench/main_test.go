@@ -106,7 +106,9 @@ func TestRunCompareInjected2xSlowdown(t *testing.T) {
 	if err := os.WriteFile(newPath, []byte(`{"figures":[{"id":"fig5","wall_ms":2100}],"micro":[
 		{"name":"AllocateHybridBatch16","ns_per_op":400},
 		{"name":"SAPDecodeZeroCopy","ns_per_op":40,"allocs_per_op":0},
-		{"name":"UDPRecvBatch","ns_per_op":450,"allocs_per_op":0}]}`), 0o644); err != nil {
+		{"name":"UDPRecvBatch","ns_per_op":450,"allocs_per_op":0},
+		{"name":"CheckpointJournalAppend","ns_per_op":500},
+		{"name":"CheckpointSnapshotLegacy","ns_per_op":50000}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if code := runCompare([]string{oldPath, newPath, "-tolerance", "25%"}); code == 0 {
@@ -128,6 +130,8 @@ func budgetReport() benchReport {
 			{Name: "SAPDecodeLegacy", NsPerOp: 100, AllocsOp: 1, BytesOp: 128},
 			{Name: "UDPRecvLegacy", NsPerOp: 800, AllocsOp: 2, DgramsPerSec: 1.2e6, BatchDepth: 1},
 			{Name: "UDPRecvBatch", NsPerOp: 450, AllocsOp: 0, DgramsPerSec: 2.2e6, BatchDepth: 30},
+			{Name: "CheckpointJournalAppend", NsPerOp: 500},
+			{Name: "CheckpointSnapshotLegacy", NsPerOp: 50000},
 		},
 	}
 }
@@ -173,8 +177,16 @@ func TestBudgetFailuresBatchDepthCollapse(t *testing.T) {
 func TestBudgetFailuresMissingMicros(t *testing.T) {
 	r := budgetReport()
 	r.Micro = nil
-	if fails := budgetFailures(r); len(fails) != 3 {
-		t.Fatalf("missing micros should produce three failures, got: %v", fails)
+	if fails := budgetFailures(r); len(fails) != 4 {
+		t.Fatalf("missing micros should produce four failures, got: %v", fails)
+	}
+}
+
+func TestBudgetFailuresCheckpointRatioCollapse(t *testing.T) {
+	r := budgetReport()
+	r.Micro[5].NsPerOp = 40000 // append nearly as slow as a full snapshot
+	if fails := budgetFailures(r); len(fails) != 1 {
+		t.Fatalf("O(sessions)-cost journal append not caught: %v", fails)
 	}
 }
 

@@ -34,6 +34,9 @@ type daemon struct {
 	cacheFile   string
 	logPath     string
 	incarnation int
+	// storageFaults, when set, is passed through as -storage-faults so
+	// this slot's journaled cache runs over an injected-fault disk.
+	storageFaults string
 
 	cmd     *exec.Cmd
 	logFile *os.File
@@ -117,7 +120,7 @@ func (f *fleet) spawn(d *daemon) error {
 		return fmt.Errorf("daemon %d: log: %w", d.idx, err)
 	}
 	fmt.Fprintf(logFile, "---- incarnation %d ----\n", d.incarnation)
-	cmd := exec.Command(f.sdrd,
+	args := []string{
 		"-origin", d.origin.String(),
 		"-listen", d.listen.String(),
 		"-peers", d.ingress.String(),
@@ -130,7 +133,11 @@ func (f *fleet) spawn(d *daemon) error {
 		"-cache", d.cacheFile,
 		"-checkpoint", "500ms",
 		"-http-debug", d.http.String(),
-	)
+	}
+	if d.storageFaults != "" {
+		args = append(args, "-storage-faults", d.storageFaults)
+	}
+	cmd := exec.Command(f.sdrd, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
 	if err := cmd.Start(); err != nil {

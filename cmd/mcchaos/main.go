@@ -14,7 +14,11 @@
 //   - degradation and degradation-decay: overload tiers engage under
 //     the crowd and relax once it goes stale;
 //   - health and pool-leak: probes stay green and no pooled receive
-//     buffers leak.
+//     buffers leak;
+//   - storage-faults: a daemon whose journaled cache runs over an
+//     injected-fault disk (-storage-faults) counts checkpoint/append
+//     errors, may degrade /readyz — and nothing else: it keeps serving,
+//     stays live, and never quarantines a file over a torn write.
 //
 // The verdict log is seed-replayable: every line is a function of the
 // seed's draws and invariant outcomes only, so two runs with the same

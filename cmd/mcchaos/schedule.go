@@ -67,6 +67,12 @@ func extendedSchedule() schedule {
 	}
 }
 
+// diskFaultProfile is the fault schedule for the disk-fault daemon:
+// write-path probabilities high enough that checkpoint compactions and
+// journal appends fail repeatedly over a run, while the read and
+// metadata paths stay clean so startup recovery always succeeds.
+const diskFaultProfile = "write=0.08,short=0.05,nospace=0.04,sync=0.2"
+
 // poolLeakSlack bounds receive buffers legitimately in flight at scrape
 // time: up to three kernel batches checked out by the read path
 // (transport readBatchSize is 32). Anything beyond that is a leak.
@@ -183,6 +189,20 @@ func (sc schedule) run(v *verdict, n int, seed uint64, sdrdBin, artifacts string
 	// Reserve each slot's sockets, attach it to the relay, spawn it.
 	f := newFleet(sdrdBin, artifacts, seed, n)
 	defer f.stopAll()
+
+	// Disk-fault phase: one daemon (never 0, the clash anchor; also never
+	// the later freeze or kill victim, so the fault domains stay disjoint)
+	// runs its journaled cache over an injected-fault disk for the whole
+	// run. The spec's probabilities hit the write path only — recovery
+	// stays clean, so the daemon always comes up — and its seed is mixed
+	// from the master seed, keeping the verdict replayable. Skipped when
+	// the fleet is too small to keep the roles distinct.
+	diskIdx := -1
+	if n >= 4 || (sc.freezeFor == 0 && n >= 3) {
+		diskIdx = pickNot(rng, n, 0)
+		f.ds[diskIdx].storageFaults = fmt.Sprintf("seed=%d,%s", mixSeed(seed, 255, 0), diskFaultProfile)
+		v.logf("phase disk-faults daemon=%d spec=%s", diskIdx, diskFaultProfile)
+	}
 	var udpTargets []netip.AddrPort
 	for _, d := range f.ds {
 		if d.listen, err = reservePort("udp"); err != nil {
@@ -296,18 +316,24 @@ func (sc schedule) run(v *verdict, n int, seed uint64, sdrdBin, artifacts string
 	// then SIGCONT; it must rejoin without help.
 	var frozen *daemon
 	if sc.freezeFor > 0 {
-		frozen = f.ds[pickNot(rng, n, 0)]
+		fi := pickNot(rng, n, 0)
+		for fi == diskIdx {
+			fi = pickNot(rng, n, 0)
+		}
+		frozen = f.ds[fi]
 		v.logf("phase freeze daemon=%d signal=SIGSTOP", frozen.idx)
 		if err := frozen.signal(syscall.SIGSTOP); err != nil {
 			return false, err
 		}
 	}
 
-	// Kill the victim (never daemon 0 — it anchors the clash check, and
-	// never the frozen bystander) without ceremony, then partition the
-	// survivors while it is down.
+	// Kill the victim (never daemon 0 — it anchors the clash check, never
+	// the frozen bystander, and never the disk-fault daemon — its cache
+	// may legitimately be stale, which would fog the crash-recovery
+	// invariant) without ceremony, then partition the survivors while it
+	// is down.
 	victimIdx := pickNot(rng, n, 0)
-	for frozen != nil && victimIdx == frozen.idx {
+	for victimIdx == diskIdx || (frozen != nil && victimIdx == frozen.idx) {
 		victimIdx = pickNot(rng, n, 0)
 	}
 	victim := f.ds[victimIdx]
@@ -421,9 +447,14 @@ func (sc schedule) run(v *verdict, n int, seed uint64, sdrdBin, artifacts string
 			healthOK = false
 			log.Printf("daemon %d: /healthz %d %q err=%v", d.idx, code, body, err)
 		}
-		if _, code, err := f.get(d, "/readyz"); err != nil || code != http.StatusOK {
-			healthOK = false
-			log.Printf("daemon %d: /readyz %d err=%v", d.idx, code, err)
+		// The disk-fault daemon may legitimately report 503
+		// storage-degraded on /readyz after persistent checkpoint
+		// failures; it must stay alive, not ready.
+		if d.idx != diskIdx {
+			if _, code, err := f.get(d, "/readyz"); err != nil || code != http.StatusOK {
+				healthOK = false
+				log.Printf("daemon %d: /readyz %d err=%v", d.idx, code, err)
+			}
 		}
 		leased := m["udp_rx_pool_hits_total"] + m["udp_rx_pool_misses_total"] - m["udp_rx_pool_returns_total"]
 		if leased < 0 || leased > poolLeakSlack {
@@ -434,6 +465,24 @@ func (sc schedule) run(v *verdict, n int, seed uint64, sdrdBin, artifacts string
 	v.invariant("degradation-decay", decayOK)
 	v.invariant("health", healthOK)
 	v.invariant("pool-leak", leakOK)
+
+	// The disk-fault daemon must have actually hit injected failures
+	// (checkpoint errors counted), kept serving the protocol (it already
+	// passed the converged and healthz checks above), and quarantined
+	// nothing — injected write faults tear files, they do not corrupt
+	// checksummed prefixes.
+	if diskIdx >= 0 {
+		md, err := f.metrics(f.ds[diskIdx])
+		storageOK := err == nil &&
+			md["cache_checkpoint_errors_total"]+md["cache_journal_append_errors_total"] >= 1 &&
+			md["cache_recovery_corrupt_total"] == 0
+		if !storageOK {
+			log.Printf("daemon %d: disk-fault outcome (checkpoint-errors=%g append-errors=%g corrupt=%g err=%v)",
+				diskIdx, md["cache_checkpoint_errors_total"], md["cache_journal_append_errors_total"],
+				md["cache_recovery_corrupt_total"], err)
+		}
+		v.invariant("storage-faults", storageOK)
+	}
 
 	s := r.Stats()
 	log.Printf("relay: forwarded=%d dropped=%d duplicated=%d corrupted=%d delayed=%d partition_drops=%d",

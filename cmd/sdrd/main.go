@@ -25,6 +25,7 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -35,6 +36,7 @@ import (
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/obs"
 	"sessiondir/internal/session"
+	"sessiondir/internal/storage"
 	"sessiondir/internal/transport"
 )
 
@@ -61,9 +63,11 @@ func run() error {
 		announce   = flag.String("announce", "", "announce a session with this name")
 		ttl        = flag.Uint("ttl", 127, "scope TTL for the announced session")
 		duration   = flag.Duration("for", 0, "exit after this long (0 = run until signal)")
-		cacheFile  = flag.String("cache", "", "persist the session cache to this file across restarts")
-		checkpoint = flag.Duration("checkpoint", time.Minute, "with -cache, also save the cache at this interval (0 = only on exit)")
+		cacheFile  = flag.String("cache", "", "persist the session cache to this file (journaled checkpoints) across restarts")
+		checkpoint = flag.Duration("checkpoint", time.Minute, "with -cache, fold the journal into a fresh snapshot at this interval (0 = only on exit)")
 		budget     = flag.Int("budget", 0, "outbound bandwidth budget in bits/second (0 = unlimited; SAP convention is 4000)")
+
+		storageFaults = flag.String("storage-faults", "", `with -cache, inject deterministic disk faults, e.g. "seed=7,write=0.02,short=0.01,nospace=0.01,sync=0.05" (chaos harness use)`)
 
 		maxSessions  = flag.Int("max-sessions", 0, "bound the listened-session cache; overload is shed drop-newest (0 = unlimited)")
 		maxPerOrigin = flag.Int("max-per-origin", 0, "bound cached sessions per announcing origin (0 = unlimited)")
@@ -138,31 +142,65 @@ func run() error {
 	// ready flips once the socket is bound (it is, the transport is up),
 	// the cache restore has completed, and the initial announcement is
 	// out — the point where a supervisor can route traffic at us.
-	var ready atomic.Bool
+	// storageOK drops when checkpoints have failed persistently: the
+	// daemon keeps serving the protocol (liveness unaffected) but tells
+	// the supervisor its durability story is degraded.
+	var ready, storageOK atomic.Bool
+	storageOK.Store(true)
 	if *httpDebug != "" {
-		stopDebug, err := startDebugServer(*httpDebug, reg, trace, dir, &ready)
+		stopDebug, err := startDebugServer(*httpDebug, reg, trace, dir, &ready, &storageOK)
 		if err != nil {
 			return err
 		}
 		defer stopDebug()
 	}
 
+	var cstore *sessiondir.CacheStore
 	if *cacheFile != "" {
 		// A corrupt or truncated cache is a cold start, not a fatal error:
-		// the announce-listen protocol rebuilds the picture from the network
-		// within an announcement interval anyway.
-		n, err := dir.LoadCacheFile(*cacheFile)
+		// damaged files are quarantined (with the readable prefix salvaged)
+		// and the announce-listen protocol rebuilds the picture from the
+		// network within an announcement interval anyway.
+		var fsys storage.FS = storage.NewOSFS(filepath.Dir(*cacheFile))
+		if *storageFaults != "" {
+			fseed, prof, err := storage.ParseFaultSpec(*storageFaults)
+			if err != nil {
+				return err
+			}
+			fsys = storage.NewFaultFS(fsys, fseed, prof)
+			log.Printf("storage faults armed: %s", *storageFaults)
+		}
+		cs, rec, err := sessiondir.OpenCacheStore(fsys, filepath.Base(*cacheFile), dir)
 		if err != nil {
 			log.Printf("cache load: %v (starting cold)", err)
-		}
-		if n > 0 {
-			log.Printf("loaded %d cached sessions from %s", n, *cacheFile)
-		}
-		defer func() {
-			if err := dir.SaveCacheFile(*cacheFile); err != nil {
-				log.Printf("cache save: %v", err)
+			storageOK.Store(false)
+		} else {
+			cstore = cs
+			for _, note := range rec.Notes {
+				log.Printf("cache recovery: %s", note)
 			}
-		}()
+			if rec.Corrupt > 0 {
+				log.Printf("cache load: quarantined %d corrupt checkpoint file(s) %v, salvaged %d entries (starting cold otherwise)",
+					rec.Corrupt, rec.Quarantined, rec.Salvaged+cs.Loaded())
+			}
+			if n := cs.Loaded(); n > 0 {
+				log.Printf("loaded %d cached sessions from %s", n, *cacheFile)
+			}
+			// The first checkpoint captures the recovered state and opens
+			// the delta journal; until it succeeds the store refuses
+			// appends, so a failure here only delays durability.
+			if err := cs.Checkpoint(); err != nil {
+				log.Printf("cache checkpoint: %v (will retry)", err)
+			}
+			defer func() {
+				if err := cs.Checkpoint(); err != nil {
+					log.Printf("cache save: %v", err)
+				}
+				if err := cs.Close(); err != nil {
+					log.Printf("cache close: %v", err)
+				}
+			}()
+		}
 	}
 
 	if *announce != "" {
@@ -206,22 +244,55 @@ func run() error {
 		}
 	}()
 
-	// Periodic checkpoints bound how much listened state an unclean exit
-	// (OOM kill, power loss) can cost; each save is atomic, so a kill in
-	// the middle of one leaves the previous checkpoint intact.
-	if *cacheFile != "" && *checkpoint > 0 {
+	// Periodic checkpoints fold the delta journal into a fresh snapshot.
+	// Between checkpoints every learned/expired/deleted session is already
+	// durable as a journal append, so an unclean exit (OOM kill, power
+	// loss) costs at most the deltas of one in-flight batch; the
+	// compaction itself is crash-atomic (write-new, fsync, rename).
+	//
+	// A failed checkpoint is retried with doubling backoff capped at 8x
+	// the configured interval, and after checkpointFailLimit consecutive
+	// failures /readyz degrades to 503 storage-degraded — the daemon keeps
+	// serving the protocol, it just stops claiming durability. The first
+	// success heals both.
+	if cstore != nil && *checkpoint > 0 {
 		go func() {
-			tick := time.NewTicker(*checkpoint)
-			defer tick.Stop()
+			const checkpointFailLimit = 3
+			maxDelay := 8 * (*checkpoint)
+			fails := 0
+			delay := *checkpoint
+			timer := time.NewTimer(delay)
+			defer timer.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
-				case <-tick.C:
-					if err := dir.SaveCacheFile(*cacheFile); err != nil {
-						log.Printf("cache checkpoint: %v", err)
-					}
+				case <-timer.C:
 				}
+				// Nothing to fold and nothing to heal: skip the O(sessions)
+				// rewrite. Journal appends carry durability while idle.
+				if cstore.JournalRecords() == 0 && !cstore.Broken() && fails == 0 {
+					timer.Reset(delay)
+					continue
+				}
+				if err := cstore.Checkpoint(); err != nil {
+					fails++
+					if delay *= 2; delay > maxDelay {
+						delay = maxDelay
+					}
+					if fails >= checkpointFailLimit {
+						storageOK.Store(false)
+					}
+					log.Printf("cache checkpoint: %v (attempt %d, next retry in %v)", err, fails, delay)
+				} else {
+					if fails > 0 {
+						log.Printf("cache checkpoint: recovered after %d failed attempts", fails)
+					}
+					fails = 0
+					delay = *checkpoint
+					storageOK.Store(true)
+				}
+				timer.Reset(delay)
 			}
 		}()
 	}
@@ -250,8 +321,12 @@ func run() error {
 					u := udp.Metrics()
 					log.Printf("dump: udp received=%d oversized=%d runts=%d read-errors=%d",
 						u.Received, u.Oversized, u.Runts, u.ReadErrors)
-					if *cacheFile != "" {
-						if err := dir.SaveCacheFile(*cacheFile); err != nil {
+					if cstore != nil {
+						st := cstore.Stats()
+						log.Printf("dump: storage journal=%d broken=%v compactions=%d checkpoint-errors=%d appended=%d append-errors=%d salvaged=%d corrupt=%d",
+							st.JournalRecords, st.Broken, st.Compactions, st.CheckpointErrors,
+							st.Appended, st.AppendErrors, st.Salvaged, st.Corrupt)
+						if err := cstore.Checkpoint(); err != nil {
 							log.Printf("dump checkpoint: %v", err)
 						} else {
 							log.Printf("dump: checkpoint saved to %s", *cacheFile)
@@ -363,7 +438,7 @@ func deriveSeed(origin string, pid int) uint64 {
 // /debug/pprof/. It is opt-in via -http-debug and binds before
 // returning, so a bad address fails startup instead of logging from a
 // goroutine after the daemon looks healthy.
-func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace, dir *sessiondir.Directory, ready *atomic.Bool) (shutdown func(), err error) {
+func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace, dir *sessiondir.Directory, ready, storageOK *atomic.Bool) (shutdown func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("http-debug: %w", err)
@@ -377,7 +452,9 @@ func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace, dir *ses
 	})
 	// Liveness: the process is serving HTTP, so it is alive. Readiness is
 	// the stronger claim — socket bound, cache restore complete, initial
-	// announcement out — and drops again while draining for shutdown.
+	// announcement out, checkpoints landing — and drops again while
+	// draining for shutdown or after persistent storage failure (the
+	// daemon still serves; it just stops claiming durability).
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = fmt.Fprintln(w, "ok") // probe hung up; nothing to report to
@@ -387,6 +464,11 @@ func startDebugServer(addr string, reg *obs.Registry, trace *obs.Trace, dir *ses
 		if !ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			_, _ = fmt.Fprintln(w, "starting") // probe hung up; nothing to report to
+			return
+		}
+		if !storageOK.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = fmt.Fprintln(w, "storage-degraded") // probe hung up; nothing to report to
 			return
 		}
 		_, _ = fmt.Fprintln(w, "ready") // probe hung up; nothing to report to

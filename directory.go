@@ -213,6 +213,15 @@ type Directory struct {
 	// synchronous transports whose recipients react immediately (the
 	// in-process Bus) cannot re-enter and deadlock.
 	outbox []outMsg
+	// journal, when attached (OpenCacheStore), receives encoded cache
+	// deltas; jqueue accumulates them under mu at each mutation site and
+	// flush drains them outside mu. jmu serializes drains and
+	// checkpoints so concurrent flushes cannot reorder delta batches on
+	// their way to the journal — the on-disk order must match the queue
+	// order. Lock order: jmu before mu, never the reverse.
+	jmu     sync.Mutex
+	journal *CacheStore
+	jqueue  [][]byte
 
 	reg   *obs.Registry
 	trace *obs.Trace
@@ -363,6 +372,7 @@ func (d *Directory) registerGauges() error {
 // until quiescent.
 func (d *Directory) flush() {
 	for {
+		d.drainJournal()
 		d.mu.Lock() //mclint:looplock re-taken each round on purpose so handlers can enqueue between drains
 		if len(d.outbox) == 0 {
 			d.mu.Unlock()
@@ -379,6 +389,35 @@ func (d *Directory) flush() {
 		_ = transport.SendAll(ctx, d.cfg.Transport, batch) // transient errors: next interval retries
 		cancel()
 	}
+}
+
+// journalLocked queues one encoded cache delta for the attached
+// journal. Caller holds d.mu. A nil payload (unencodable description)
+// is skipped — the next checkpoint snapshot covers it if it ever
+// becomes encodable.
+func (d *Directory) journalLocked(p []byte) {
+	if d.journal == nil || p == nil {
+		return
+	}
+	d.jqueue = append(d.jqueue, p)
+}
+
+// drainJournal hands queued deltas to the journal in queue order. jmu
+// spans the take-and-append so two concurrent flushes cannot interleave
+// their batches out of order; the append itself runs outside d.mu so
+// disk latency never blocks the packet path.
+func (d *Directory) drainJournal() {
+	d.jmu.Lock()
+	defer d.jmu.Unlock()
+	d.mu.Lock()
+	j := d.journal
+	batch := d.jqueue
+	d.jqueue = nil
+	d.mu.Unlock()
+	if j == nil || len(batch) == 0 {
+		return
+	}
+	j.appendBatch(batch)
 }
 
 // New assembles and starts listening. Call Run (or Step in virtual-time
@@ -780,10 +819,14 @@ func (d *Directory) handlePacket(m transport.Message) {
 		}
 	}
 
-	if _, fresh := d.cache.Observe(desc, now); fresh {
+	if e, fresh := d.cache.Observe(desc, now); fresh {
 		d.ins.sessionsLearned.Inc()
 		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceLearn, Key: key})
 		d.emit(Event{Kind: EventSessionLearned, Key: key, Desc: desc})
+		// Only fresh observations are journaled; pure LastHeard
+		// refreshes ride on the next snapshot (interval-granularity
+		// timestamps, same as the legacy checkpoint format).
+		d.journalLocked(encodeLearn(e))
 	}
 	if idx, ok := d.space.Index(desc.Group); ok {
 		actions := d.tracker.Observe(clash.Observation{
@@ -819,6 +862,7 @@ func (d *Directory) handleDeleteLocked(pkt *sap.Packet, desc *session.Descriptio
 	}
 	d.cache.Delete(key, now)
 	d.tracker.Forget(clash.SessionKey(key))
+	d.journalLocked(encodeKeyDelta(deltaDelete, key))
 }
 
 // validateAnnounceLocked is the clash-report validation of the admission
@@ -882,6 +926,7 @@ func (d *Directory) admitNewLocked(desc *session.Description, now time.Time) boo
 		d.ins.evictions.Inc()
 		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceEvict, Key: k})
 		d.emit(Event{Kind: EventSessionEvicted, Key: k})
+		d.journalLocked(encodeKeyDelta(deltaEvict, k))
 	}
 	switch dec.Outcome {
 	case admission.Shed:
@@ -1006,6 +1051,7 @@ func (d *Directory) step(now time.Time) {
 		d.ins.sessionsExpired.Inc()
 		d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceExpire, Key: key})
 		d.emit(Event{Kind: EventSessionExpired, Key: key})
+		d.journalLocked(encodeKeyDelta(deltaExpire, key))
 	}
 }
 
@@ -1053,6 +1099,14 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 	if err != nil {
 		return n, err
 	}
+	d.registerLoadedLocked(now)
+	return n, nil
+}
+
+// registerLoadedLocked is the post-recovery bookkeeping shared by
+// LoadCache and OpenCacheStore, run after persisted entries have been
+// merged into the cache. Caller holds d.mu.
+func (d *Directory) registerLoadedLocked(now time.Time) {
 	// Budget enforcement before tracker registration: a checkpoint larger
 	// than MaxSessions (saved under a bigger budget, or adversarially
 	// grown) must trim deterministically, not over-admit — and evicted
@@ -1063,6 +1117,7 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 			d.ins.evictions.Inc()
 			d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceEvict, Key: k})
 			d.emit(Event{Kind: EventSessionEvicted, Key: k})
+			d.journalLocked(encodeKeyDelta(deltaEvict, k))
 		}
 	}
 	// Register in sorted key order: Live() iterates a map, and Observe
@@ -1080,7 +1135,6 @@ func (d *Directory) LoadCache(r io.Reader) (int, error) {
 			})
 		}
 	}
-	return n, nil
 }
 
 func (d *Directory) bumpMalformed() {

@@ -37,6 +37,7 @@ var DetRand = &Analyzer{
 		"sessiondir/internal/admission",
 		"sessiondir/internal/obs",
 		"sessiondir/internal/relay",
+		"sessiondir/internal/storage",
 	},
 	Run: runDetRand,
 }

@@ -25,6 +25,7 @@ var LoopLock = &Analyzer{
 		"hoist the lock, snapshot, or use an atomic",
 	Packages: []string{
 		"sessiondir",
+		"sessiondir/internal/storage",
 		"sessiondir/internal/transport",
 	},
 	Run: runLoopLock,

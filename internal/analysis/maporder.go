@@ -46,6 +46,7 @@ var MapOrder = &Analyzer{
 		"sessiondir/internal/admission",
 		"sessiondir/internal/obs",
 		"sessiondir/internal/relay",
+		"sessiondir/internal/storage",
 	},
 	Run: runMapOrder,
 }

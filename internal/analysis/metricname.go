@@ -29,6 +29,7 @@ var MetricName = &Analyzer{
 		"sessiondir/internal/allocator",
 		"sessiondir/internal/transport",
 		"sessiondir/internal/relay",
+		"sessiondir/internal/storage",
 	},
 	Run: runMetricName,
 }

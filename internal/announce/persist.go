@@ -89,24 +89,34 @@ func (c *Cache) Load(r io.Reader, now time.Time) (int, error) {
 		if err != nil {
 			continue // a corrupt entry should not poison the rest
 		}
-		lastHeard := time.Unix(last, 0)
-		if now.Sub(lastHeard) > c.Timeout {
-			continue // stale on disk
+		if c.Restore(desc, time.Unix(first, 0), time.Unix(last, 0), now) {
+			loaded++
 		}
-		key := desc.Key()
-		if existing, ok := c.entries[key]; ok {
-			// In-memory state is at least as fresh; only upgrade versions.
-			if desc.Version > existing.Desc.Version && !existing.Deleted {
-				existing.Desc = desc
-			}
-			continue
-		}
-		c.entries[key] = &Entry{
-			Desc:       desc,
-			FirstHeard: time.Unix(first, 0),
-			LastHeard:  lastHeard,
-		}
-		loaded++
 	}
 	return loaded, nil
+}
+
+// Restore merges one persisted entry, with Load's exact semantics:
+// entries stale relative to now are skipped, fresher in-memory state
+// wins over disk state (version upgrades excepted). The journaled store
+// replays snapshot and journal records through this one entry at a
+// time. Reports whether the entry was added as new.
+func (c *Cache) Restore(desc *session.Description, first, last, now time.Time) bool {
+	if now.Sub(last) > c.Timeout {
+		return false // stale on disk
+	}
+	key := desc.Key()
+	if existing, ok := c.entries[key]; ok {
+		// In-memory state is at least as fresh; only upgrade versions.
+		if desc.Version > existing.Desc.Version && !existing.Deleted {
+			existing.Desc = desc
+		}
+		return false
+	}
+	c.entries[key] = &Entry{
+		Desc:       desc,
+		FirstHeard: first,
+		LastHeard:  last,
+	}
+	return true
 }

@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk format (DESIGN.md §16). Both store files — snapshot and
+// journal — share one frame grammar:
+//
+//	header:  "SDST" | version (1 byte) | kind (1 byte) | generation (8 bytes BE)
+//	record:  length (4 bytes BE) | CRC32C(payload) (4 bytes BE) | payload
+//
+// Records carry opaque payloads; the store neither parses nor
+// interprets them. Classification on read is positional:
+//
+//   - a frame that runs past end-of-file, or trailing bytes too short
+//     to be a frame, or a CRC mismatch on the FINAL frame → torn tail:
+//     the expected residue of a crash mid-append, silently dropped;
+//   - a CRC mismatch or implausible length anywhere BEFORE the final
+//     frame → corruption: bits changed under data that was once whole,
+//     so the file is quarantined and only the records before the damage
+//     are salvaged.
+const (
+	recMagic      = "SDST"
+	recVersion    = 1
+	headerLen     = 4 + 1 + 1 + 8
+	frameOverhead = 4 + 4
+	// maxRecordLen bounds one record. A length field above it is
+	// corruption, not a big record: the largest session description the
+	// wire accepts is ~1 KiB, and a snapshot record holds one session.
+	maxRecordLen = 1 << 24
+)
+
+// File kinds.
+const (
+	kindSnapshot byte = 1
+	kindJournal  byte = 2
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendHeader appends a file header to buf.
+func appendHeader(buf []byte, kind byte, gen uint64) []byte {
+	buf = append(buf, recMagic...)
+	buf = append(buf, recVersion, kind)
+	return binary.BigEndian.AppendUint64(buf, gen)
+}
+
+// appendFrame appends one framed record to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// fileImage is the result of parsing one store file.
+type fileImage struct {
+	kind    byte
+	gen     uint64
+	records [][]byte // payloads up to the first damage, aliasing the input
+	torn    bool     // tail truncated or final-frame CRC mismatch: normal
+	corrupt bool     // mid-file damage or foreign header: quarantine
+	reason  string   // human-readable classification detail
+}
+
+// hasMagic reports whether data begins with this package's file magic —
+// the dispatch point between the framed format and the legacy
+// line-oriented "sdcache v1" text format.
+func hasMagic(data []byte) bool {
+	return len(data) >= len(recMagic) && string(data[:len(recMagic)]) == recMagic
+}
+
+// HasMagic reports whether data begins with the framed-format file
+// magic — the public format sniff for readers that also accept the
+// legacy text format.
+func HasMagic(data []byte) bool { return hasMagic(data) }
+
+// parseFile classifies data per the grammar above. It never fails: any
+// input yields an image, with torn/corrupt describing what was wrong
+// and records holding everything salvageable before the damage.
+func parseFile(data []byte) fileImage {
+	var img fileImage
+	if len(data) < headerLen {
+		if !hasMagic(data) && len(data) > 0 {
+			img.corrupt = true
+			img.reason = "missing file magic"
+			return img
+		}
+		// Empty or a partial header: a crash during file creation.
+		img.torn = true
+		img.reason = "truncated header"
+		return img
+	}
+	if !hasMagic(data) {
+		img.corrupt = true
+		img.reason = "missing file magic"
+		return img
+	}
+	if v := data[4]; v != recVersion {
+		img.corrupt = true
+		img.reason = fmt.Sprintf("unknown format version %d", v)
+		return img
+	}
+	img.kind = data[5]
+	if img.kind != kindSnapshot && img.kind != kindJournal {
+		img.corrupt = true
+		img.reason = fmt.Sprintf("unknown file kind %d", img.kind)
+		return img
+	}
+	img.gen = binary.BigEndian.Uint64(data[6:headerLen])
+
+	rest := data[headerLen:]
+	for len(rest) > 0 {
+		if len(rest) < frameOverhead {
+			img.torn = true
+			img.reason = "truncated frame header at tail"
+			return img
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		if n > maxRecordLen {
+			// An implausible length is damage wherever it sits; it
+			// cannot be distinguished from a valid continuation, so
+			// nothing after it is salvageable either way.
+			img.corrupt = true
+			img.reason = fmt.Sprintf("implausible record length %d", n)
+			return img
+		}
+		if len(rest) < frameOverhead+int(n) {
+			img.torn = true
+			img.reason = "truncated record at tail"
+			return img
+		}
+		want := binary.BigEndian.Uint32(rest[4:8])
+		payload := rest[frameOverhead : frameOverhead+int(n)]
+		if crc32.Checksum(payload, castagnoli) != want {
+			if len(rest) == frameOverhead+int(n) {
+				// Final frame: a torn write can scribble on the last
+				// sectors it touched, so a bad tail CRC is the normal
+				// crash residue, not corruption.
+				img.torn = true
+				img.reason = "checksum mismatch on final record"
+				return img
+			}
+			img.corrupt = true
+			img.reason = "checksum mismatch mid-file"
+			return img
+		}
+		img.records = append(img.records, payload)
+		rest = rest[frameOverhead+int(n):]
+	}
+	return img
+}
