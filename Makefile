@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint lint-json chaos adversary proc-chaos proc-chaos-extended storage-chaos storage-chaos-extended bench bench-snapshot
+.PHONY: all build test race vet lint lint-json chaos adversary proc-chaos proc-chaos-extended storage-chaos storage-chaos-extended bench bench-snapshot bench-snapshot-full
 
 all: build vet lint test
 
@@ -86,3 +86,11 @@ bench:
 # perf trajectory (see DESIGN.md "Performance").
 bench-snapshot: build
 	$(GO) run ./cmd/mcbench -experiment fig5,fig12 -json BENCH.json
+
+# Refresh BENCH.json including the full tier: quick figures first, then
+# the directory-scale occupancy sweep (25k/100k sessions) merged onto
+# the same file. Two invocations because -full also scales fig5/fig12
+# to hour-long runs; the merge keeps one committed baseline carrying
+# both tiers. Takes a few minutes (the 100k runs dominate).
+bench-snapshot-full: bench-snapshot
+	$(GO) run ./cmd/mcbench -experiment occupancy -full -json BENCH.json -merge

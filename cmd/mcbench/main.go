@@ -18,11 +18,19 @@
 //
 // -compare turns mcbench into a regression gate:
 //
-//	mcbench -compare old.json new.json -tolerance 25% -fail-ratio 2
+//	mcbench -compare old.json new.json -tolerance 25% -fail-ratio 2 -tier quick
 //
 // It prints GitHub-annotation warnings for metrics past the tolerance and
 // exits nonzero only for regressions past the fail ratio, so noisy CI
 // machines inform without blocking and real cliffs still stop the merge.
+// The gate is tiered: "quick" (every PR) checks figure timings and the
+// micro budgets; "full" (nightly) additionally requires the
+// directory-scale occupancy sweep — a run of ≥100k sessions inside an
+// absolute wall budget, placing ≥90% of its target — and ratio-gates the
+// sweep's wall times. -merge lets the two tiers share one BENCH.json:
+//
+//	mcbench -experiment fig5,fig12 -json BENCH.json
+//	mcbench -experiment occupancy -full -json BENCH.json -merge
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 	"sessiondir/internal/obs"
 	"sessiondir/internal/sap"
 	"sessiondir/internal/session"
+	"sessiondir/internal/sim"
 	"sessiondir/internal/stats"
 	"sessiondir/internal/storage"
 	"sessiondir/internal/transport"
@@ -63,6 +72,10 @@ type benchReport struct {
 	GOOS       string             `json:"goos,omitempty"` // budget gates that need recvmmsg apply on linux only
 	Figures    []figureTiming     `json:"figures"`
 	Micro      []microBenchResult `json:"micro"`
+	// Occupancy holds the directory-scale occupancy sweep (the -full
+	// tier's 100k-session runs), one record per algorithm × resident
+	// target, each with its own wall time.
+	Occupancy []occupancyRecord `json:"occupancy,omitempty"`
 	// Registry is the merged metrics snapshot of a small seeded fleet
 	// (same schema the daemon serves at /metrics), so perf numbers and
 	// protocol/occupancy counters live in one record.
@@ -72,6 +85,26 @@ type benchReport struct {
 type figureTiming struct {
 	ID     string  `json:"id"`
 	WallMs float64 `json:"wall_ms"`
+}
+
+// occupancyRecord is one occupancy run in the report: the simulation
+// outcome plus its wall time, which the full-tier gate budgets.
+type occupancyRecord struct {
+	Algorithm    string  `json:"algorithm"`
+	Sessions     int     `json:"sessions"`
+	SpaceSize    uint32  `json:"space_size"`
+	Partitions   int     `json:"partitions"`
+	Placed       int     `json:"placed"`
+	FillClashes  int     `json:"fill_clashes"`
+	ChurnClashes int     `json:"churn_clashes"`
+	Exhausted    int     `json:"exhausted"`
+	Occupancy    float64 `json:"occupancy"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// occupancyKey identifies a record across reports for the ratio gate.
+func (o occupancyRecord) key() string {
+	return fmt.Sprintf("%s/%d", o.Algorithm, o.Sessions)
 }
 
 type microBenchResult struct {
@@ -495,17 +528,74 @@ type compareOpts struct {
 	tolerancePct float64
 	// failRatio is the hard gate: new/old above this fails the run.
 	failRatio float64
+	// tier selects the budget set: "quick" (every PR — micro budgets
+	// only, occupancy ignored) or "full" (nightly — additionally requires
+	// the 100k-session occupancy runs and gates their wall clock and
+	// placement rate absolutely).
+	tier string
+}
+
+// Full-tier absolute budgets for the occupancy sweep.
+const (
+	// fullTierMinSessions: the report must contain at least one run at
+	// directory scale — the repo's 100k-session claim.
+	fullTierMinSessions = 100000
+	// fullTierWallBudgetMs bounds any single occupancy run's wall time.
+	fullTierWallBudgetMs = 600000 // 10 minutes
+	// fullTierMinPlacedPct: each run must place at least this fraction of
+	// its resident target (placement failures mean the allocator
+	// exhausted the space for some view — a capacity regression).
+	fullTierMinPlacedPct = 0.9
+)
+
+// fullTierFailures enforces the nightly tier's absolute budgets on the
+// new report: the occupancy sweep must be present, reach 100k sessions,
+// place ≥90% of each target, and keep every run inside the wall budget.
+func fullTierFailures(r benchReport) []string {
+	if len(r.Occupancy) == 0 {
+		return []string{"full tier: report has no occupancy records (run mcbench -experiment occupancy -full -json ...)"}
+	}
+	var fails []string
+	maxSessions := 0
+	for _, o := range r.Occupancy {
+		if o.Sessions > maxSessions {
+			maxSessions = o.Sessions
+		}
+		if float64(o.Placed) < fullTierMinPlacedPct*float64(o.Sessions) {
+			fails = append(fails, fmt.Sprintf("full tier: occupancy %s placed %d of %d sessions, budget ≥ %.0f%%",
+				o.key(), o.Placed, o.Sessions, fullTierMinPlacedPct*100))
+		}
+		if o.WallMs > fullTierWallBudgetMs {
+			fails = append(fails, fmt.Sprintf("full tier: occupancy %s took %.0f ms, budget ≤ %d ms",
+				o.key(), o.WallMs, fullTierWallBudgetMs))
+		}
+	}
+	if maxSessions < fullTierMinSessions {
+		fails = append(fails, fmt.Sprintf("full tier: largest occupancy run is %d sessions, budget requires ≥ %d",
+			maxSessions, fullTierMinSessions))
+	}
+	return fails
 }
 
 // parseCompareArgs accepts the post-flag arguments of a -compare run:
 // two report files in either position, plus optional trailing
-// "-tolerance 25%" and "-fail-ratio 2" pairs (the stdlib flag package
-// stops at the first positional, so these are parsed by hand).
+// "-tolerance 25%", "-fail-ratio 2" and "-tier quick|full" pairs (the
+// stdlib flag package stops at the first positional, so these are
+// parsed by hand).
 func parseCompareArgs(args []string) (oldPath, newPath string, opts compareOpts, err error) {
-	opts = compareOpts{tolerancePct: 25, failRatio: 2}
+	opts = compareOpts{tolerancePct: 25, failRatio: 2, tier: "quick"}
 	var files []string
 	for i := 0; i < len(args); i++ {
 		switch strings.TrimLeft(args[i], "-") {
+		case "tier":
+			if i+1 >= len(args) {
+				return "", "", opts, fmt.Errorf("-tier needs a value")
+			}
+			i++
+			if args[i] != "quick" && args[i] != "full" {
+				return "", "", opts, fmt.Errorf("bad -tier %q (quick or full)", args[i])
+			}
+			opts.tier = args[i]
 		case "tolerance":
 			if i+1 >= len(args) {
 				return "", "", opts, fmt.Errorf("-tolerance needs a value")
@@ -555,6 +645,20 @@ func compareReports(oldR, newR benchReport, opts compareOpts) (warnings, failure
 			metrics = append(metrics, metric{"figure " + f.ID + " wall_ms", old, f.WallMs})
 		}
 	}
+	if opts.tier == "full" {
+		// Occupancy wall times join the ratio gate only on the nightly
+		// tier: quick PR runs don't regenerate the sweep, so their reports
+		// carry stale rows that must not annotate unrelated changes.
+		oldOcc := make(map[string]occupancyRecord, len(oldR.Occupancy))
+		for _, o := range oldR.Occupancy {
+			oldOcc[o.key()] = o
+		}
+		for _, o := range newR.Occupancy {
+			if old, ok := oldOcc[o.key()]; ok {
+				metrics = append(metrics, metric{"occupancy " + o.key() + " wall_ms", old.WallMs, o.WallMs})
+			}
+		}
+	}
 	oldMicro := make(map[string]microBenchResult, len(oldR.Micro))
 	for _, m := range oldR.Micro {
 		oldMicro[m.Name] = m
@@ -584,6 +688,31 @@ func compareReports(oldR, newR benchReport, opts compareOpts) (warnings, failure
 		}
 	}
 	return warnings, failures
+}
+
+// mergeReports overlays a fresh run onto a previous record so one file
+// can carry tiers produced by separate invocations (quick figures on
+// every PR, the -full occupancy sweep nightly). Figure timings merge by
+// id with the fresh run winning; occupancy is replaced only when the
+// fresh run regenerated it; micro benches and the registry snapshot are
+// always the fresh run's (a -json run always produces them). Header
+// fields (timestamp, scale, toolchain) are the fresh run's.
+func mergeReports(prev, fresh benchReport) benchReport {
+	out := fresh
+	seen := make(map[string]bool, len(fresh.Figures))
+	for _, f := range fresh.Figures {
+		seen[f.ID] = true
+	}
+	for _, f := range prev.Figures {
+		if !seen[f.ID] {
+			out.Figures = append(out.Figures, f)
+		}
+	}
+	sort.Slice(out.Figures, func(i, j int) bool { return out.Figures[i].ID < out.Figures[j].ID })
+	if len(fresh.Occupancy) == 0 {
+		out.Occupancy = prev.Occupancy
+	}
+	return out
 }
 
 func readReport(path string) (benchReport, error) {
@@ -618,8 +747,11 @@ func runCompare(args []string) int {
 	}
 	warnings, failures := compareReports(oldR, newR, opts)
 	failures = append(failures, budgetFailures(newR)...)
-	fmt.Printf("compare %s -> %s: tolerance %.0f%%, fail ratio %.2gx\n",
-		oldPath, newPath, opts.tolerancePct, opts.failRatio)
+	if opts.tier == "full" {
+		failures = append(failures, fullTierFailures(newR)...)
+	}
+	fmt.Printf("compare %s -> %s: tier %s, tolerance %.0f%%, fail ratio %.2gx\n",
+		oldPath, newPath, opts.tier, opts.tolerancePct, opts.failRatio)
 	for _, w := range warnings {
 		// GitHub Actions renders ::warning:: as a PR annotation; locally it
 		// is just a greppable prefix.
@@ -644,7 +776,8 @@ func main() {
 		outDir   = flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
 		workers  = flag.Int("workers", 0, "engine concurrency: 0 = GOMAXPROCS, 1 = serial (output identical either way)")
 		jsonPath = flag.String("json", "", "write a machine-readable benchmark record (wall times + allocation micro-benches) to this file")
-		compare  = flag.Bool("compare", false, "compare two benchmark records: mcbench -compare old.json new.json [-tolerance 25%] [-fail-ratio 2]")
+		merge    = flag.Bool("merge", false, "merge into an existing -json file instead of replacing it: figures merge by id, occupancy is replaced only when this run regenerated it")
+		compare  = flag.Bool("compare", false, "compare two benchmark records: mcbench -compare old.json new.json [-tolerance 25%] [-fail-ratio 2] [-tier quick|full]")
 	)
 	flag.Parse()
 
@@ -696,6 +829,45 @@ func main() {
 		GOOS:       runtime.GOOS,
 	}
 
+	// The occupancy sweep is recorded per run (each row carries its own
+	// wall time for the full-tier budget), so when a JSON record is
+	// requested its runner is replaced with one that threads results into
+	// the report while printing the same rows.
+	if *jsonPath != "" {
+		for i, r := range runners {
+			if r.ID != "occupancy" {
+				continue
+			}
+			runners[i].Run = func(w io.Writer, s experiments.Scale) error {
+				cfgs, err := experiments.OccupancyConfigs(s)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "# Occupancy: fill + churn at directory scale (Mbone %d nodes, space %d)\n",
+					s.MboneNodes, s.OccSpace)
+				for _, cfg := range cfgs {
+					start := time.Now()
+					res := sim.RunOccupancy(cfg)
+					wall := time.Since(start)
+					fmt.Fprintln(w, res.String())
+					report.Occupancy = append(report.Occupancy, occupancyRecord{
+						Algorithm:    res.Algorithm,
+						Sessions:     res.Sessions,
+						SpaceSize:    res.SpaceSize,
+						Partitions:   res.Partitions,
+						Placed:       res.Placed,
+						FillClashes:  res.FillClashes,
+						ChurnClashes: res.ChurnClashes,
+						Exhausted:    res.Exhausted,
+						Occupancy:    res.Occupancy,
+						WallMs:       float64(wall.Microseconds()) / 1000,
+					})
+				}
+				return nil
+			}
+		}
+	}
+
 	for _, r := range runners {
 		fmt.Printf("==== %s: %s (scale=%s workers=%d) ====\n", r.ID, r.Description, scale.Name, *workers)
 		start := time.Now()
@@ -744,6 +916,14 @@ func main() {
 			os.Exit(1)
 		}
 		report.Registry = snap
+		if *merge {
+			if prev, err := readReport(*jsonPath); err == nil {
+				report = mergeReports(prev, report)
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "-merge: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -15,6 +15,7 @@ import (
 	"sessiondir/internal/clash"
 	"sessiondir/internal/mcast"
 	"sessiondir/internal/obs"
+	"sessiondir/internal/par"
 	"sessiondir/internal/sap"
 	"sessiondir/internal/session"
 	"sessiondir/internal/stats"
@@ -120,6 +121,12 @@ type Config struct {
 	// steady announcement interval or live sessions become flood-evictable
 	// between re-announcements.
 	StaleAfter time.Duration
+	// Shards stripes the listened-session cache into per-origin shards
+	// (0 or 1 = a single shard, the unsharded layout). Sharding changes
+	// scaling, never behaviour: all order-sensitive mutations stay
+	// serialised under the directory mutex, and a seeded run replays
+	// bit-identically at any shard count (see DESIGN.md §17).
+	Shards int
 	// Seed drives the randomised choices (0 = arbitrary fixed seed).
 	Seed uint64
 	// OnEvent, if set, receives observability events synchronously; it
@@ -192,7 +199,7 @@ type Directory struct {
 	mu      sync.Mutex
 	rng     *stats.RNG
 	owned   map[string]*ownedSession
-	cache   *announce.Cache
+	cache   *announce.Sharded
 	admit   *admission.Controller
 	tracker *clash.Tracker
 	epoch   time.Time
@@ -265,7 +272,11 @@ type dirInstruments struct {
 	announcementsSent *obs.Counter
 	deletionsSent     *obs.Counter
 	packetsReceived   *obs.Counter
-	packetsMalformed  *obs.Counter
+	// packetsMalformed is striped: the batched receive path bumps it from
+	// the parallel parse phase, one stripe per worker, and the registry
+	// folds the stripes back into the single dir_packets_malformed_total
+	// name every consumer already scrapes.
+	packetsMalformed *obs.ShardedCounter
 	sessionsLearned   *obs.Counter
 	sessionsExpired   *obs.Counter
 	clashMoves        *obs.Counter
@@ -295,7 +306,6 @@ func newDirInstruments(r *obs.Registry) (dirInstruments, error) {
 		{&ins.announcementsSent, "dir_announcements_sent_total", "SAP announcements transmitted (own + defended)"},
 		{&ins.deletionsSent, "dir_deletions_sent_total", "SAP deletions transmitted"},
 		{&ins.packetsReceived, "dir_packets_received_total", "well-formed SAP packets processed"},
-		{&ins.packetsMalformed, "dir_packets_malformed_total", "undecodable packets or payloads dropped"},
 		{&ins.sessionsLearned, "dir_sessions_learned_total", "distinct sessions (or new versions) cached"},
 		{&ins.sessionsExpired, "dir_sessions_expired_total", "cached sessions that timed out"},
 		{&ins.clashMoves, "dir_clash_moves_total", "phase-2 address moves of our own sessions"},
@@ -316,6 +326,12 @@ func newDirInstruments(r *obs.Registry) (dirInstruments, error) {
 		}
 		*c.dst = m
 	}
+	sc, err := r.ShardedCounter("dir_packets_malformed_total",
+		"undecodable packets or payloads dropped", par.Workers(0))
+	if err != nil {
+		return ins, err
+	}
+	ins.packetsMalformed = sc
 	h, err := r.Histogram("dir_packet_size_bytes", "received datagram sizes, pre-decode", packetSizeBounds)
 	if err != nil {
 		return ins, err
@@ -339,8 +355,8 @@ func (d *Directory) registerGauges() error {
 			return float64(len(d.owned))
 		}},
 		{"dir_cache_sessions", "listened-session cache occupancy, tombstones included", func() float64 {
-			d.mu.Lock()
-			defer d.mu.Unlock()
+			// Lock-free: the sharded cache mirrors per-shard totals in
+			// atomics, so a scrape storm cannot contend with the packet path.
 			return float64(d.cache.Size())
 		}},
 		{"dir_admission_origins", "origins tracked by the per-origin rate limiter", func() float64 {
@@ -476,7 +492,7 @@ func New(cfg Config) (*Directory, error) {
 		alloc: alloc,
 		rng:   stats.NewRNG(seed),
 		owned: make(map[string]*ownedSession),
-		cache: announce.NewCache(cfg.CacheTimeout),
+		cache: announce.NewSharded(cfg.CacheTimeout, cfg.Shards),
 		epoch: cfg.Clock(),
 		reg:   reg,
 		trace: cfg.Trace,
@@ -506,6 +522,12 @@ func New(cfg Config) (*Directory, error) {
 		return nil, fmt.Errorf("sessiondir: %w", err)
 	}
 	cfg.Transport.Subscribe(d.onPacket)
+	if bs, ok := cfg.Transport.(transport.BatchSubscriber); ok {
+		// Transports that retire whole receive batches (UDP's recvmmsg
+		// loop) hand them to the epoch-batched path: parse in parallel,
+		// apply serially in arrival order under one lock epoch.
+		bs.SubscribeBatch(d.HandleBatch)
+	}
 	return d, nil
 }
 
@@ -748,37 +770,100 @@ func (d *Directory) OwnSessions() []*session.Description {
 	return out
 }
 
-// onPacket is the transport receive path. The message's receive buffer
-// is released as soon as handlePacket returns: the SAP decode may alias
-// m.Data, but everything that survives the call (cached descriptions,
-// keys) is parsed into fresh strings, so nothing outlives the release.
+// parsedPacket is the outcome of the lock-free parse phase of packet
+// handling: the decoded SAP header and a freshly parsed description
+// (ok), or a malformed verdict (!ok, already counted). Nothing in it
+// aliases the receive buffer — ParseSDP copies into fresh strings and
+// the apply phase never touches pkt.Payload — so the buffer may be
+// released once the apply phase is done with the batch.
+type parsedPacket struct {
+	pkt  sap.Packet
+	desc *session.Description
+	ok   bool
+}
+
+// parsePacket is the pure pre-lock half of the receive path: decode,
+// payload-type check, SDP parse, and the pre-decode observability
+// (size histogram, malformed stripe). Safe to run concurrently across a
+// batch; stripe spreads the malformed counter's contention.
+func (d *Directory) parsePacket(data []byte, stripe int) parsedPacket {
+	d.ins.packetBytes.Observe(int64(len(data)))
+	var p parsedPacket
+	if err := p.pkt.DecodeMaybeCompressed(data); err != nil {
+		d.ins.packetsMalformed.Inc(stripe)
+		return p // malformed packets are dropped silently, as SAP requires
+	}
+	if p.pkt.EffectivePayloadType() != sap.PayloadTypeSDP {
+		d.ins.packetsMalformed.Inc(stripe)
+		return p
+	}
+	desc, err := session.ParseSDP(p.pkt.Payload)
+	if err != nil {
+		d.ins.packetsMalformed.Inc(stripe)
+		return p
+	}
+	p.desc = desc
+	p.ok = true
+	return p
+}
+
+// onPacket is the per-message transport receive path. The message's
+// receive buffer is released as soon as the apply phase returns; nothing
+// parsed out of it aliases the buffer (see parsedPacket).
 func (d *Directory) onPacket(m transport.Message) {
-	d.handlePacket(m)
+	p := d.parsePacket(m.Data, 0)
+	d.mu.Lock()
+	d.applyParsedLocked(&p)
+	d.mu.Unlock()
 	m.Release()
 	d.flush()
 }
 
-func (d *Directory) handlePacket(m transport.Message) {
-	d.ins.packetBytes.Observe(int64(len(m.Data)))
-	var pkt sap.Packet
-	if err := pkt.DecodeMaybeCompressed(m.Data); err != nil {
-		d.bumpMalformed()
-		return // malformed packets are dropped silently, as SAP requires
-	}
-	if pkt.EffectivePayloadType() != sap.PayloadTypeSDP {
-		d.bumpMalformed()
+// batchParseMin is the smallest receive batch worth fanning the parse
+// phase across workers; below it the handoff costs more than the SDP
+// parses it overlaps.
+const batchParseMin = 8
+
+// HandleBatch is the epoch-batched receive path: the parse phase runs
+// across the whole batch first (in parallel when the batch is big
+// enough), then one lock epoch applies the parsed packets serially in
+// arrival order. Applying in arrival order is what preserves the
+// bit-identical replay contract — the protocol state transitions and RNG
+// draws are exactly those of len(ms) sequential onPacket calls — while
+// the parse fan-out and the single lock acquisition per batch buy the
+// throughput.
+func (d *Directory) HandleBatch(ms []transport.Message) {
+	if len(ms) == 0 {
 		return
 	}
-	desc, err := session.ParseSDP(pkt.Payload)
-	if err != nil {
-		d.bumpMalformed()
-		return
+	parsed := make([]parsedPacket, len(ms))
+	if len(ms) >= batchParseMin {
+		par.For(0, len(ms), func(i int) { parsed[i] = d.parsePacket(ms[i].Data, i) })
+	} else {
+		for i := range ms {
+			parsed[i] = d.parsePacket(ms[i].Data, i)
+		}
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.closed {
+	for i := range parsed {
+		d.applyParsedLocked(&parsed[i])
+	}
+	d.mu.Unlock()
+	for i := range ms {
+		ms[i].Release()
+	}
+	d.flush()
+}
+
+// applyParsedLocked is the serial half of the receive path: admission,
+// validation, cache and clash-tracker mutation. Caller holds d.mu; calls
+// across a batch must run in arrival order.
+func (d *Directory) applyParsedLocked(p *parsedPacket) {
+	if !p.ok || d.closed {
 		return
 	}
+	pkt := &p.pkt
+	desc := p.desc
 	d.ins.packetsReceived.Inc()
 	now := d.cfg.Clock()
 	key := desc.Key()
@@ -792,11 +877,11 @@ func (d *Directory) handlePacket(m transport.Message) {
 	}
 
 	if pkt.Type == sap.Delete {
-		d.handleDeleteLocked(&pkt, desc, key, now)
+		d.handleDeleteLocked(pkt, desc, key, now)
 		return
 	}
 
-	if !d.validateAnnounceLocked(&pkt, desc, key) {
+	if !d.validateAnnounceLocked(pkt, desc, key) {
 		d.ins.forgedReports.Inc()
 		return
 	}
@@ -919,7 +1004,7 @@ func (d *Directory) admitNewLocked(desc *session.Description, now time.Time) boo
 	if d.cfg.MaxSessions <= 0 && d.cfg.MaxPerOrigin <= 0 {
 		return true
 	}
-	dec := d.admit.PlanNew(d.candidatesLocked(), desc.Origin, now)
+	dec := d.admit.PlanNewGrouped(d.candidatesLocked(), desc.Origin, now)
 	for _, k := range dec.Evict {
 		d.cache.Remove(k)
 		d.tracker.Forget(clash.SessionKey(k))
@@ -940,25 +1025,31 @@ func (d *Directory) admitNewLocked(desc *session.Description, now time.Time) boo
 	return true
 }
 
-// candidatesLocked builds the admission view of the cache. Own sessions
-// are excluded: they are never eviction candidates. Order is irrelevant —
-// the planner imposes a total deterministic order of its own.
-func (d *Directory) candidatesLocked() []admission.Candidate {
-	all := d.cache.All()
-	cands := make([]admission.Candidate, 0, len(all))
-	for _, e := range all {
-		if e.Desc.Origin == d.cfg.Origin || d.owned[e.Desc.Key()] != nil {
-			continue
+// candidatesLocked builds the admission view of the cache, one group per
+// shard. Own sessions are excluded: they are never eviction candidates.
+// Group and intra-group order are irrelevant — the grouped planners
+// impose a total deterministic order of their own, so budget accounting
+// is exact at any shard count.
+func (d *Directory) candidatesLocked() [][]admission.Candidate {
+	grouped := d.cache.AllGrouped()
+	groups := make([][]admission.Candidate, len(grouped))
+	for i, entries := range grouped {
+		cands := make([]admission.Candidate, 0, len(entries))
+		for _, e := range entries {
+			if e.Desc.Origin == d.cfg.Origin || d.owned[e.Desc.Key()] != nil {
+				continue
+			}
+			cands = append(cands, admission.Candidate{
+				Key:       e.Desc.Key(),
+				Origin:    e.Desc.Origin,
+				TTL:       e.Desc.TTL,
+				LastHeard: e.LastHeard,
+				Deleted:   e.Deleted,
+			})
 		}
-		cands = append(cands, admission.Candidate{
-			Key:       e.Desc.Key(),
-			Origin:    e.Desc.Origin,
-			TTL:       e.Desc.TTL,
-			LastHeard: e.LastHeard,
-			Deleted:   e.Deleted,
-		})
+		groups[i] = cands
 	}
-	return cands
+	return groups
 }
 
 // applyActionsLocked executes clash protocol reactions.
@@ -1112,7 +1203,7 @@ func (d *Directory) registerLoadedLocked(now time.Time) {
 	// grown) must trim deterministically, not over-admit — and evicted
 	// entries must never reach the clash tracker.
 	if d.cfg.MaxSessions > 0 || d.cfg.MaxPerOrigin > 0 {
-		for _, k := range d.admit.TrimPlan(d.candidatesLocked()) {
+		for _, k := range d.admit.TrimPlanGrouped(d.candidatesLocked()) {
 			d.cache.Remove(k)
 			d.ins.evictions.Inc()
 			d.trace.Record(obs.TraceEvent{At: d.ms(now), Kind: obs.TraceEvict, Key: k})
@@ -1135,10 +1226,6 @@ func (d *Directory) registerLoadedLocked(now time.Time) {
 			})
 		}
 	}
-}
-
-func (d *Directory) bumpMalformed() {
-	d.ins.packetsMalformed.Inc() // atomic; no need for d.mu
 }
 
 // Metrics returns a snapshot of the directory's operational counters.
@@ -1176,12 +1263,7 @@ func (d *Directory) computeDegradeLocked(now time.Time) int {
 	if max <= 0 {
 		return 0
 	}
-	fresh := 0
-	for _, e := range d.cache.All() {
-		if !e.Deleted && now.Sub(e.LastHeard) < d.staleAfter {
-			fresh++
-		}
-	}
+	fresh := d.cache.CountFresh(now, d.staleAfter)
 	lvl := 0
 	switch {
 	case fresh*100 >= max*degradeL2Pct && max >= degradeMinBudget:

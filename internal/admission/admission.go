@@ -313,6 +313,38 @@ func (c *Controller) PlanNew(cands []Candidate, origin netip.Addr, now time.Time
 	return d
 }
 
+// flattenGroups concatenates per-shard candidate groups in group order
+// with a single allocation. Both planners impose their own total
+// deterministic order (evictionOrder) and count commutatively, so the
+// concatenation order cannot influence any decision — which is exactly
+// the property the grouped equivalence tests pin.
+func flattenGroups(groups [][]Candidate) []Candidate {
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	flat := make([]Candidate, 0, total)
+	for _, g := range groups {
+		flat = append(flat, g...)
+	}
+	return flat
+}
+
+// PlanNewGrouped is PlanNew over per-shard candidate groups, as produced
+// by a sharded cache. The decision — outcome and eviction set — is
+// identical to PlanNew over any flattening of the groups: budget
+// accounting stays exact across shards because the planner's ordering
+// and counting never depend on input order.
+func (c *Controller) PlanNewGrouped(groups [][]Candidate, origin netip.Addr, now time.Time) Decision {
+	return c.PlanNew(flattenGroups(groups), origin, now)
+}
+
+// TrimPlanGrouped is TrimPlan over per-shard candidate groups, with the
+// same exactness guarantee as PlanNewGrouped.
+func (c *Controller) TrimPlanGrouped(groups [][]Candidate) []string {
+	return c.TrimPlan(flattenGroups(groups))
+}
+
 // TrimPlan returns the keys to evict so that the population fits both the
 // session budget and every per-origin quota, evicting in the same
 // deterministic preference order but unconditionally — a checkpoint

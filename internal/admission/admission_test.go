@@ -205,3 +205,43 @@ func sorted(s []string) []string {
 	}
 	return out
 }
+
+// The grouped planner entry points exist so the sharded cache can hand
+// over per-shard candidate groups without a caller-side flatten; they
+// must be exactly equivalent to the flat planners on the concatenation —
+// budget accounting across shards may not drift by a single session.
+func TestGroupedPlannersMatchFlat(t *testing.T) {
+	now := time.Unix(50000, 0)
+	mk := func(i int) Candidate {
+		return Candidate{
+			Key:       fmt.Sprintf("10.0.%d.%d/%d", i%7, i%13, i),
+			Origin:    netip.AddrFrom4([4]byte{10, 0, byte(i % 7), byte(i % 13)}),
+			TTL:       127,
+			LastHeard: now.Add(-time.Duration(i%40) * time.Minute),
+			Deleted:   i%11 == 0,
+		}
+	}
+	var flat []Candidate
+	var groups [][]Candidate
+	for g := 0; g < 5; g++ {
+		var grp []Candidate
+		for i := 0; i < 30; i++ {
+			c := mk(g*30 + i)
+			grp = append(grp, c)
+			flat = append(flat, c)
+		}
+		groups = append(groups, grp)
+	}
+	groups = append(groups, nil) // empty shard
+
+	ctrl := New(Config{MaxSessions: 60, MaxPerOrigin: 12, StaleAfter: 10 * time.Minute})
+	newOrigin := netip.AddrFrom4([4]byte{10, 0, 3, 9})
+	want := ctrl.PlanNew(flat, newOrigin, now)
+	got := ctrl.PlanNewGrouped(groups, newOrigin, now)
+	if want.Outcome != got.Outcome || fmt.Sprint(want.Evict) != fmt.Sprint(got.Evict) {
+		t.Fatalf("PlanNewGrouped diverges: %v/%v vs %v/%v", got.Outcome, got.Evict, want.Outcome, want.Evict)
+	}
+	if w, g := ctrl.TrimPlan(flat), ctrl.TrimPlanGrouped(groups); fmt.Sprint(w) != fmt.Sprint(g) {
+		t.Fatalf("TrimPlanGrouped diverges: %v vs %v", g, w)
+	}
+}

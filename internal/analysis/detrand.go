@@ -28,6 +28,8 @@ var DetRand = &Analyzer{
 	Packages: []string{
 		"sessiondir/internal/sim",
 		"sessiondir/internal/allocator",
+		"sessiondir/internal/announce",
+		"sessiondir/internal/des",
 		"sessiondir/internal/experiments",
 		"sessiondir/internal/par",
 		"sessiondir/internal/topology",

@@ -38,6 +38,8 @@ var MapOrder = &Analyzer{
 	Packages: []string{
 		"sessiondir/internal/sim",
 		"sessiondir/internal/allocator",
+		"sessiondir/internal/announce",
+		"sessiondir/internal/des",
 		"sessiondir/internal/experiments",
 		"sessiondir/internal/par",
 		"sessiondir/internal/topology",

@@ -5,6 +5,7 @@
 package announce
 
 import (
+	"sort"
 	"time"
 
 	"sessiondir/internal/session"
@@ -116,12 +117,33 @@ type Entry struct {
 	// Deleted marks an explicit SAP deletion (kept briefly to squelch
 	// stale re-announcements from slow caches).
 	Deleted bool
+	// adBytes is the announcement size this entry contributes to the
+	// bandwidth budget while live, cached at Observe/Restore time so the
+	// running total can be maintained incrementally (and released exactly
+	// on delete/evict without re-marshalling).
+	adBytes int
+}
+
+// adSize is the bandwidth-budget cost of one announcement: SDP payload
+// plus the SAP header, or a nominal size for descriptions that cannot
+// marshal (matching the lazy accounting TotalAdBytes historically used).
+func adSize(d *session.Description) int {
+	if data, err := d.MarshalSDP(); err == nil {
+		return len(data) + 8 // + SAP header
+	}
+	return 256
 }
 
 // Cache is the listened-session store. It is not safe for concurrent use;
-// the directory agent serialises access.
+// the directory agent serialises access (or wraps shards of it in
+// Sharded, which adds the striped locking).
 type Cache struct {
 	entries map[string]*Entry
+	// live and adBytes are running totals over non-deleted entries,
+	// maintained at every mutation so Len and TotalAdBytes are O(1) —
+	// they sit on the announcement-scheduling path of every send.
+	live    int
+	adBytes int
 	// Timeout evicts sessions not re-announced for this long. RFC 2974
 	// uses max(1 h, 10×interval).
 	Timeout time.Duration
@@ -142,14 +164,23 @@ func (c *Cache) Observe(d *session.Description, now time.Time) (*Entry, bool) {
 	key := d.Key()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &Entry{Desc: d, FirstHeard: now, LastHeard: now}
+		e = &Entry{Desc: d, FirstHeard: now, LastHeard: now, adBytes: adSize(d)}
 		c.entries[key] = e
+		c.live++
+		c.adBytes += e.adBytes
 		return e, true
 	}
 	fresh := d.Version > e.Desc.Version || e.Deleted
 	if d.Version >= e.Desc.Version {
+		if e.Deleted {
+			c.live++
+		} else {
+			c.adBytes -= e.adBytes
+		}
 		e.Desc = d
 		e.Deleted = false
+		e.adBytes = adSize(d)
+		c.adBytes += e.adBytes
 	}
 	e.LastHeard = now
 	return e, fresh
@@ -158,6 +189,10 @@ func (c *Cache) Observe(d *session.Description, now time.Time) (*Entry, bool) {
 // Delete marks a session deleted (explicit SAP deletion packet).
 func (c *Cache) Delete(key string, now time.Time) {
 	if e, ok := c.entries[key]; ok {
+		if !e.Deleted {
+			c.live--
+			c.adBytes -= e.adBytes
+		}
 		e.Deleted = true
 		e.LastHeard = now
 	}
@@ -185,7 +220,13 @@ func (c *Cache) Peek(key string) (*Entry, bool) {
 // it leaves no tombstone: the budget counts tombstones as occupancy, so
 // eviction must actually release the slot.
 func (c *Cache) Remove(key string) {
-	delete(c.entries, key)
+	if e, ok := c.entries[key]; ok {
+		if !e.Deleted {
+			c.live--
+			c.adBytes -= e.adBytes
+		}
+		delete(c.entries, key)
+	}
 }
 
 // Size returns the total number of entries, including deletion
@@ -195,30 +236,31 @@ func (c *Cache) Size() int {
 }
 
 // Len returns the number of live entries.
-func (c *Cache) Len() int {
-	n := 0
-	for _, e := range c.entries {
-		if !e.Deleted {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) Len() int { return c.live }
 
 // Expire evicts entries unheard for Timeout (and deleted entries unheard
-// for Timeout/10), returning the evicted keys.
+// for Timeout/10), returning the evicted keys in sorted order. The sort
+// matters: expiry order reaches the trace, the event stream, and the
+// journal, all of which must replay identically from a seed, and it is
+// what lets a sharded cache's per-shard expiries merge into the same
+// sequence the unsharded cache produces.
 func (c *Cache) Expire(now time.Time) []string {
 	var evicted []string
-	for key, e := range c.entries {
+	for key, e := range c.entries { //mclint:maporder evictions are sorted before returning
 		limit := c.Timeout
 		if e.Deleted {
 			limit = c.Timeout / 10
 		}
 		if now.Sub(e.LastHeard) > limit {
+			if !e.Deleted {
+				c.live--
+				c.adBytes -= e.adBytes
+			}
 			delete(c.entries, key)
 			evicted = append(evicted, key)
 		}
 	}
+	sort.Strings(evicted)
 	return evicted
 }
 
@@ -226,7 +268,7 @@ func (c *Cache) Expire(now time.Time) []string {
 // unspecified); the admission layer builds eviction candidates from it.
 func (c *Cache) All() []*Entry {
 	out := make([]*Entry, 0, len(c.entries))
-	for _, e := range c.entries {
+	for _, e := range c.entries { //mclint:maporder consumers are order-insensitive or sort (see Sharded doc)
 		out = append(out, e)
 	}
 	return out
@@ -235,7 +277,7 @@ func (c *Cache) All() []*Entry {
 // Live returns all live entries (iteration order unspecified).
 func (c *Cache) Live() []*Entry {
 	out := make([]*Entry, 0, len(c.entries))
-	for _, e := range c.entries {
+	for _, e := range c.entries { //mclint:maporder consumers are order-insensitive or sort (see Sharded doc)
 		if !e.Deleted {
 			out = append(out, e)
 		}
@@ -243,20 +285,21 @@ func (c *Cache) Live() []*Entry {
 	return out
 }
 
-// TotalAdBytes estimates the summed announcement size of live entries for
-// the bandwidth budget. Descriptions are re-marshalled lazily; failures
-// (invalid cached descriptions) count a nominal size.
-func (c *Cache) TotalAdBytes() int {
-	total := 0
-	for _, e := range c.entries {
-		if e.Deleted {
-			continue
-		}
-		if data, err := e.Desc.MarshalSDP(); err == nil {
-			total += len(data) + 8 // + SAP header
-		} else {
-			total += 256
+// CountFresh counts live entries heard within staleAfter of now — the
+// degradation tiers' pressure signal. The count is commutative over
+// entries, so per-shard counts sum to exactly this scan's result.
+func (c *Cache) CountFresh(now time.Time, staleAfter time.Duration) int {
+	fresh := 0
+	for _, e := range c.entries { //mclint:maporder commutative count
+		if !e.Deleted && now.Sub(e.LastHeard) < staleAfter {
+			fresh++
 		}
 	}
-	return total
+	return fresh
 }
+
+// TotalAdBytes is the summed announcement size of live entries for the
+// bandwidth budget: SDP payload + SAP header per entry, a nominal size
+// for invalid cached descriptions. Maintained incrementally, so this is
+// O(1) — it runs on every announcement send.
+func (c *Cache) TotalAdBytes() int { return c.adBytes }

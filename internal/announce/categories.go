@@ -115,7 +115,7 @@ func (r *CategoryRegistry) Get(name string) (*CategoryEntry, bool) {
 // Expire drops categories unheard for Timeout, returning the dropped names.
 func (r *CategoryRegistry) Expire(now time.Time) []string {
 	var out []string
-	for name, e := range r.entries {
+	for name, e := range r.entries { //mclint:maporder dropped names are sorted before returning
 		if now.Sub(e.LastSeen) > r.Timeout {
 			delete(r.entries, name)
 			out = append(out, name)

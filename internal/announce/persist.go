@@ -30,11 +30,17 @@ const cacheHeader = "sdcache v1"
 
 // Save writes all live entries to w.
 func (c *Cache) Save(w io.Writer) error {
+	return saveEntries(w, c.Live())
+}
+
+// saveEntries writes the v1 cache format for the given entries; shared
+// by the flat cache (map order) and the sharded cache (sorted order).
+func saveEntries(w io.Writer, entries []*Entry) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, cacheHeader); err != nil {
 		return err
 	}
-	for _, e := range c.Live() {
+	for _, e := range entries {
 		data, err := e.Desc.MarshalSDP()
 		if err != nil {
 			continue // skip invalid cached descriptions
@@ -42,8 +48,8 @@ func (c *Cache) Save(w io.Writer) error {
 		// bufio.Writer errors are sticky: once a write fails, later writes
 		// are no-ops and the final Flush returns the first error.
 		fmt.Fprintf(bw, "entry %d %d %d\n", e.FirstHeard.Unix(), e.LastHeard.Unix(), len(data)) //mclint:errdrop sticky; Flush reports it
-		bw.Write(data)     //mclint:errdrop sticky; Flush reports it
-		bw.WriteByte('\n') //mclint:errdrop sticky; Flush reports it
+		bw.Write(data)                                                                          //mclint:errdrop sticky; Flush reports it
+		bw.WriteByte('\n')                                                                      //mclint:errdrop sticky; Flush reports it
 	}
 	return bw.Flush()
 }
@@ -52,6 +58,13 @@ func (c *Cache) Save(w io.Writer) error {
 // relative to now (per the cache timeout) are skipped; fresher in-memory
 // state wins over stale disk state. Returns the number of entries loaded.
 func (c *Cache) Load(r io.Reader, now time.Time) (int, error) {
+	return loadEntries(r, c.Restore, now)
+}
+
+// loadEntries parses the v1 cache format, handing each decoded entry to
+// restore (Cache.Restore or the sharded equivalent) and counting the
+// ones it reports as newly added.
+func loadEntries(r io.Reader, restore func(desc *session.Description, first, last, now time.Time) bool, now time.Time) (int, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
 	if err != nil {
@@ -89,7 +102,7 @@ func (c *Cache) Load(r io.Reader, now time.Time) (int, error) {
 		if err != nil {
 			continue // a corrupt entry should not poison the rest
 		}
-		if c.Restore(desc, time.Unix(first, 0), time.Unix(last, 0), now) {
+		if restore(desc, time.Unix(first, 0), time.Unix(last, 0), now) {
 			loaded++
 		}
 	}
@@ -109,14 +122,21 @@ func (c *Cache) Restore(desc *session.Description, first, last, now time.Time) b
 	if existing, ok := c.entries[key]; ok {
 		// In-memory state is at least as fresh; only upgrade versions.
 		if desc.Version > existing.Desc.Version && !existing.Deleted {
+			c.adBytes -= existing.adBytes
 			existing.Desc = desc
+			existing.adBytes = adSize(desc)
+			c.adBytes += existing.adBytes
 		}
 		return false
 	}
-	c.entries[key] = &Entry{
+	e := &Entry{
 		Desc:       desc,
 		FirstHeard: first,
 		LastHeard:  last,
+		adBytes:    adSize(desc),
 	}
+	c.entries[key] = e
+	c.live++
+	c.adBytes += e.adBytes
 	return true
 }

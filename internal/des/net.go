@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"sessiondir/internal/mcast"
@@ -24,6 +25,11 @@ type Net struct {
 	loss   float64
 	rng    *stats.RNG
 	nodes  map[topology.NodeID]*Endpoint
+	// order is the attached nodes in ascending NodeID — the delivery
+	// iteration order. Iterating the map directly would draw loss
+	// decisions (and assign same-timestamp event sequence numbers) in
+	// randomized map order, breaking seed replay.
+	order  []topology.NodeID
 	filter LinkFilter
 }
 
@@ -83,6 +89,10 @@ func (n *Net) Attach(node topology.NodeID) (*Endpoint, error) {
 	}
 	ep := &Endpoint{net: n, node: node}
 	n.nodes[node] = ep
+	at := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= node })
+	n.order = append(n.order, 0)
+	copy(n.order[at+1:], n.order[at:])
+	n.order[at] = node
 	return ep, nil
 }
 
@@ -107,8 +117,9 @@ func (e *Endpoint) Send(_ context.Context, data []byte, scope mcast.TTL) error {
 	n := e.net
 	reach := n.cache.Reach(e.node, scope)
 	tree := n.cache.Tree(e.node)
-	for node, target := range n.nodes {
-		if node == e.node || !reach.Contains(node) {
+	for _, node := range n.order {
+		target := n.nodes[node]
+		if target == nil || node == e.node || !reach.Contains(node) {
 			continue
 		}
 		if n.filter != nil && !n.filter(e.node, node) {
@@ -142,5 +153,10 @@ func (e *Endpoint) Close() error {
 	e.closed = true
 	e.handler = nil
 	delete(e.net.nodes, e.node)
+	order := e.net.order
+	at := sort.Search(len(order), func(i int) bool { return order[i] >= e.node })
+	if at < len(order) && order[at] == e.node {
+		e.net.order = append(order[:at], order[at+1:]...)
+	}
 	return nil
 }

@@ -1,0 +1,184 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sessiondir/internal/par"
+)
+
+// ShardedEngine is the conservative parallel extension of Engine: K
+// partition wheels, each a plain single-threaded Engine, advanced in
+// lockstep epochs of bounded lookahead. Within an epoch every wheel runs
+// independently (in parallel, one goroutine per wheel); events that
+// cross partitions are not delivered directly but buffered per source
+// wheel and merged at the epoch barrier in a fixed total order — (at,
+// source wheel, per-source sequence) — before being scheduled into their
+// destination wheels.
+//
+// Determinism argument (the merge step, DESIGN.md §17): each wheel's
+// execution inside an epoch is serial and seeded, so the cross-event
+// stream a wheel emits — contents, timestamps, and per-source sequence
+// numbers — is a pure function of the simulation state at the epoch
+// start, independent of how the wheels interleave on real CPUs. The
+// barrier merge sorts those streams by a total key with no ties, so the
+// delivery order (and therefore every destination wheel's seq
+// assignment) is also worker-count-independent. By induction over
+// epochs, a ShardedEngine run is bit-identical at any worker count, and
+// with one partition it degenerates to exactly Engine's semantics.
+//
+// The conservative correctness condition is the usual one: Lookahead
+// must not exceed the minimum cross-partition latency. A cross event
+// whose timestamp lands inside the epoch that emitted it cannot be
+// delivered into the past of a concurrently running wheel; it is clamped
+// to the epoch boundary — deterministic, but a latency distortion the
+// caller opted into by configuring a too-wide epoch.
+type ShardedEngine struct {
+	wheels  []*Engine
+	workers int
+	// lookahead is the epoch width: how far every wheel may run ahead of
+	// the global clock before the next cross-event exchange.
+	lookahead time.Duration
+	now       time.Time
+	// mail buffers cross-partition events per source wheel. Only wheel i's
+	// callbacks append to mail[i], and the epoch barrier is the only
+	// reader, so the buffers need no locks.
+	mail [][]crossEvent
+	seqs []uint64 // per-source cross-event sequence numbers
+}
+
+// crossEvent is one buffered cross-partition event awaiting the epoch
+// merge.
+type crossEvent struct {
+	at  time.Time
+	src int
+	seq uint64
+	dst int
+	fn  func()
+}
+
+// NewShardedEngine returns a partitioned engine with parts wheels (min
+// 1) advancing in epochs of width lookahead, run on up to workers
+// goroutines (0 = GOMAXPROCS).
+func NewShardedEngine(start time.Time, parts int, lookahead time.Duration, workers int) *ShardedEngine {
+	if parts < 1 {
+		parts = 1
+	}
+	if lookahead <= 0 {
+		panic("des: non-positive lookahead")
+	}
+	s := &ShardedEngine{
+		wheels:    make([]*Engine, parts),
+		workers:   workers,
+		lookahead: lookahead,
+		now:       start,
+		mail:      make([][]crossEvent, parts),
+		seqs:      make([]uint64, parts),
+	}
+	for i := range s.wheels {
+		s.wheels[i] = NewEngine(start)
+	}
+	return s
+}
+
+// Parts returns the number of partition wheels.
+func (s *ShardedEngine) Parts() int { return len(s.wheels) }
+
+// Wheel returns partition p's engine, for scheduling partition-local
+// events. Callbacks run on the wheel's goroutine during an epoch; they
+// must only touch partition-local state (plus Cross for everything
+// else).
+func (s *ShardedEngine) Wheel(p int) *Engine { return s.wheels[p] }
+
+// Now returns the global virtual clock: the last completed epoch
+// boundary.
+func (s *ShardedEngine) Now() time.Time { return s.now }
+
+// Cross schedules fn onto partition dst at the given virtual time, from
+// a callback currently executing on partition src's wheel. The event is
+// buffered and delivered at the next epoch barrier; timestamps inside
+// the emitting epoch are clamped to its boundary (see the type comment).
+func (s *ShardedEngine) Cross(src, dst int, at time.Time, fn func()) {
+	s.seqs[src]++
+	s.mail[src] = append(s.mail[src], crossEvent{at: at, src: src, seq: s.seqs[src], dst: dst, fn: fn})
+}
+
+// RunUntil advances every wheel to deadline in lookahead-wide epochs,
+// exchanging cross-partition events at each barrier. Returns the total
+// number of events processed across wheels.
+func (s *ShardedEngine) RunUntil(deadline time.Time) int {
+	processed := 0
+	for s.now.Before(deadline) {
+		epochEnd := s.now.Add(s.lookahead)
+		if epochEnd.After(deadline) {
+			epochEnd = deadline
+		}
+		counts := make([]int, len(s.wheels))
+		par.For(s.workers, len(s.wheels), func(i int) {
+			counts[i] = s.wheels[i].RunUntil(epochEnd)
+		})
+		for _, c := range counts {
+			processed += c
+		}
+		s.now = epochEnd
+		s.deliverMail(epochEnd)
+	}
+	return processed
+}
+
+// RunFor advances the global clock by d.
+func (s *ShardedEngine) RunFor(d time.Duration) int {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// deliverMail is the barrier's deterministic merge: drain every source
+// buffer, impose the total (at, src, seq) order, and schedule into the
+// destination wheels — clamping into-the-past timestamps to the epoch
+// boundary just passed.
+func (s *ShardedEngine) deliverMail(epochEnd time.Time) {
+	var all []crossEvent
+	for i := range s.mail {
+		all = append(all, s.mail[i]...)
+		s.mail[i] = s.mail[i][:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if !a.at.Equal(b.at) {
+			return a.at.Before(b.at)
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, ev := range all {
+		at := ev.at
+		if at.Before(epochEnd) {
+			at = epochEnd
+		}
+		s.wheels[ev.dst].Schedule(at, ev.fn)
+	}
+}
+
+// Pending sums the queued events across wheels plus undelivered cross
+// events (diagnostics).
+func (s *ShardedEngine) Pending() int {
+	n := 0
+	for _, w := range s.wheels {
+		n += w.Pending()
+	}
+	for i := range s.mail {
+		n += len(s.mail[i])
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (s *ShardedEngine) String() string {
+	return fmt.Sprintf("des.ShardedEngine{now: %s, parts: %d, pending: %d}",
+		s.now.Format(time.RFC3339), len(s.wheels), s.Pending())
+}

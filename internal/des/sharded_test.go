@@ -1,0 +1,141 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// ringRun drives a token ring over a ShardedEngine: each partition
+// receives tokens, logs them against its wheel clock, and forwards them
+// to the next partition one cross-latency later. The per-partition logs
+// are the observable: they must be bit-identical at any worker count.
+func ringRun(t *testing.T, parts, workers, tokens, hops int) [][]string {
+	t.Helper()
+	const (
+		lookahead = 10 * time.Millisecond
+		latency   = 10 * time.Millisecond // == lookahead: the conservative bound
+	)
+	s := NewShardedEngine(simStart(), parts, lookahead, workers)
+	logs := make([][]string, parts)
+
+	var hop func(p, token, hopsLeft int)
+	hop = func(p, token, hopsLeft int) {
+		at := s.Wheel(p).Now()
+		logs[p] = append(logs[p], fmt.Sprintf("tok%d@%s hops=%d", token, at.Format("15:04:05.000"), hopsLeft))
+		if hopsLeft == 0 {
+			return
+		}
+		dst := (p + 1) % parts
+		s.Cross(p, dst, at.Add(latency), func() { hop(dst, token, hopsLeft-1) })
+	}
+	for tok := 0; tok < tokens; tok++ {
+		p := tok % parts
+		token := tok
+		// Stagger injections so epochs carry different token mixes.
+		s.Wheel(p).Schedule(simStart().Add(time.Duration(tok)*3*time.Millisecond), func() {
+			hop(p, token, hops)
+		})
+	}
+	s.RunUntil(simStart().Add(time.Duration(hops+tokens) * 50 * time.Millisecond))
+	if s.Pending() != 0 {
+		t.Fatalf("ring did not drain: %d pending", s.Pending())
+	}
+	return logs
+}
+
+// The tentpole contract: a partitioned run is bit-identical at any
+// worker count, because each wheel's epoch execution is serial and the
+// barrier merge imposes a total (at, src, seq) order on cross events.
+func TestShardedEngineWorkerCountInvariance(t *testing.T) {
+	for _, parts := range []int{1, 4, 8} {
+		want := ringRun(t, parts, 1, 12, 6)
+		for _, workers := range []int{2, 4, 8, 0} {
+			got := ringRun(t, parts, workers, 12, 6)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parts=%d workers=%d diverges from serial:\n got  %v\n want %v", parts, workers, got, want)
+			}
+		}
+	}
+}
+
+// With one partition the sharded engine must behave exactly like a plain
+// Engine fed the same schedule — including event ordering at equal
+// timestamps, which both resolve by schedule sequence.
+func TestShardedEngineSinglePartitionMatchesEngine(t *testing.T) {
+	script := func(schedule func(at time.Time, fn func()), log *[]int) {
+		base := simStart()
+		for i := 0; i < 8; i++ {
+			i := i
+			// Two events per timestamp to exercise tie-breaking.
+			schedule(base.Add(time.Duration(i/2)*time.Millisecond), func() { *log = append(*log, i) })
+		}
+	}
+
+	var plainLog []int
+	e := NewEngine(simStart())
+	script(e.Schedule, &plainLog)
+	e.RunFor(time.Second)
+
+	var shardedLog []int
+	s := NewShardedEngine(simStart(), 1, 5*time.Millisecond, 4)
+	script(s.Wheel(0).Schedule, &shardedLog)
+	s.RunFor(time.Second)
+
+	if !reflect.DeepEqual(shardedLog, plainLog) {
+		t.Fatalf("one-partition run diverges from Engine: got %v want %v", shardedLog, plainLog)
+	}
+	if s.Now() != e.Now() {
+		t.Fatalf("clocks diverge: sharded %v, engine %v", s.Now(), e.Now())
+	}
+}
+
+// Cross events that share a timestamp must deliver in (src, seq) order —
+// the merge's tie-break — regardless of which buffer drained first.
+func TestShardedEngineMergeTotalOrder(t *testing.T) {
+	run := func(workers int) []string {
+		s := NewShardedEngine(simStart(), 4, 10*time.Millisecond, workers)
+		var log []string
+		at := simStart().Add(25 * time.Millisecond) // lands in a later epoch
+		for src := 3; src >= 1; src-- {
+			src := src
+			s.Wheel(src).Schedule(simStart().Add(time.Millisecond), func() {
+				for seq := 0; seq < 3; seq++ {
+					src, seq := src, seq
+					s.Cross(src, 0, at, func() { log = append(log, fmt.Sprintf("src%d#%d", src, seq)) })
+				}
+			})
+		}
+		s.RunFor(100 * time.Millisecond)
+		return log
+	}
+	want := []string{
+		"src1#0", "src1#1", "src1#2",
+		"src2#0", "src2#1", "src2#2",
+		"src3#0", "src3#1", "src3#2",
+	}
+	for _, workers := range []int{1, 4} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d merge order: got %v want %v", workers, got, want)
+		}
+	}
+}
+
+// A cross event aimed inside the epoch that emitted it cannot be
+// delivered into a peer wheel's past; it is clamped to the epoch
+// boundary, deterministically.
+func TestShardedEngineClampsIntraEpochCross(t *testing.T) {
+	s := NewShardedEngine(simStart(), 2, 10*time.Millisecond, 1)
+	var deliveredAt time.Time
+	s.Wheel(0).Schedule(simStart().Add(time.Millisecond), func() {
+		// Aimed 1ms later — inside the same epoch, unsatisfiable.
+		s.Cross(0, 1, simStart().Add(2*time.Millisecond), func() {
+			deliveredAt = s.Wheel(1).Now()
+		})
+	})
+	s.RunFor(50 * time.Millisecond)
+	if want := simStart().Add(10 * time.Millisecond); !deliveredAt.Equal(want) {
+		t.Fatalf("clamped delivery at %v, want epoch boundary %v", deliveredAt, want)
+	}
+}

@@ -34,6 +34,15 @@ type Scale struct {
 	Fig12Spaces []uint32
 	Fig12Reps   int
 
+	// Occupancy sweep (the mcbench -full perf tier): resident-session
+	// targets, address space, and churn operations for the
+	// directory-scale fill + churn runs (Figures 5/12 shape, but sessions
+	// persist past their first clash).
+	OccSessions []int
+	OccSpace    uint32
+	OccChurn    int // 0 = sessions/10
+	OccParts    int // session-set partitions (0 = sim default)
+
 	// Figures 14/18 (analytic responder surfaces).
 	RespReceivers []int
 	RespD2Millis  []float64
@@ -62,6 +71,8 @@ func Quick() Scale {
 		Fig5Dists:     []mcast.TTLDistribution{mcast.DS1(), mcast.DS4()},
 		Fig12Spaces:   []uint32{100, 200, 400},
 		Fig12Reps:     25,
+		OccSessions:   []int{2000},
+		OccSpace:      4096,
 		RespReceivers: []int{200, 800, 3200, 12800},
 		RespD2Millis:  []float64{800, 3200, 12800, 51200},
 		RRGroupSizes:  []int{200, 800},
@@ -82,6 +93,8 @@ func Full() Scale {
 		Fig5Dists:     mcast.Distributions(),
 		Fig12Spaces:   []uint32{100, 200, 400, 800, 1600},
 		Fig12Reps:     100,
+		OccSessions:   []int{25000, 100000},
+		OccSpace:      131072,
 		RespReceivers: []int{200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200},
 		RespD2Millis:  []float64{800, 3200, 12800, 51200, 204800},
 		RRGroupSizes:  []int{200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200},
@@ -118,6 +131,7 @@ func All() []Runner {
 		{"ttltable", "most frequent / max hop count per TTL (§2.4.1 table)", RunTTLTable},
 		{"ablation", "design-choice ablations (gaps, occupancy, margin, backoff)", RunAblations},
 		{"hierarchy", "§4.1 extension: flat vs prefix-hierarchical allocation", RunHierarchy},
+		{"occupancy", "directory-scale occupancy: fill + churn clash rates (Figs 5/12 shape)", RunOccupancySweep},
 		{"discovery", "packet-level discovery delay vs loss and back-off schedule", RunDiscovery},
 		{"adminscope", "§1 contrast: informed-random under admin vs TTL scoping", RunAdminScope},
 		{"strategies", "§3.1 responder strategies: uniform/exp/two-tier/ranked", RunStrategies},

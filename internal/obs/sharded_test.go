@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedCounterSumsStripes(t *testing.T) {
+	c := NewShardedCounter(4)
+	c.Inc(0)
+	c.Inc(1)
+	c.Add(3, 5)
+	c.Inc(7) // reduced modulo the stripe count
+	if got := c.Value(); got != 8 {
+		t.Fatalf("Value() = %d, want 8", got)
+	}
+	if NewShardedCounter(0).Value() != 0 {
+		t.Fatal("degenerate stripe count")
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	c := NewShardedCounter(8)
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(w)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestShardedCounterRegistersAsPlainCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustShardedCounter("test_sharded_total", "striped test counter", 4)
+	c.Add(2, 41)
+	c.Inc(0)
+	var found bool
+	for _, mv := range r.Snapshot() {
+		if mv.Name == "test_sharded_total" {
+			found = true
+			if mv.Kind != "counter" || mv.Value != 42 {
+				t.Fatalf("sample = %+v, want counter 42", mv)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sharded counter missing from snapshot")
+	}
+	if _, err := r.ShardedCounter("test_sharded_total", "dup", 2); err == nil {
+		t.Fatal("duplicate registration should error")
+	}
+}

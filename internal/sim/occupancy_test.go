@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sessiondir/internal/allocator"
+	"sessiondir/internal/mcast"
+	"sessiondir/internal/stats"
+	"sessiondir/internal/topology"
+)
+
+// serialOccupancy is the unpartitioned oracle: the exact RunOccupancy
+// workload driven through the plain serial World. RunOccupancy must
+// reproduce it bit-for-bit at every partition and worker count.
+func serialOccupancy(cfg OccupancyConfig) OccupancyResult {
+	if cfg.Churn == 0 {
+		cfg.Churn = cfg.Sessions / 10
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	w := NewWorld(cfg.Graph)
+	n := cfg.Graph.NumNodes()
+	res := OccupancyResult{
+		Algorithm:  cfg.Alloc.Name(),
+		Sessions:   cfg.Sessions,
+		SpaceSize:  cfg.Alloc.Size(),
+		Partitions: cfg.Partitions,
+	}
+	place := func(clashes *int) {
+		origin := topology.NodeID(rng.IntN(n))
+		ttl := cfg.Dist.Sample(rng.IntN)
+		visible := w.VisibleAt(origin)
+		addr, err := cfg.Alloc.Allocate(visible, ttl, rng)
+		if err != nil {
+			res.Exhausted++
+			return
+		}
+		if w.Clashes(origin, ttl, addr) {
+			*clashes++
+		}
+		w.Add(origin, ttl, addr)
+	}
+	for k := 0; k < cfg.Sessions; k++ {
+		place(&res.FillClashes)
+	}
+	res.Placed = len(w.Sessions)
+	res.Occupancy = float64(len(w.Sessions)) / float64(cfg.Alloc.Size())
+	for j := 0; j < cfg.Churn && len(w.Sessions) > 0; j++ {
+		w.RemoveAt(rng.IntN(len(w.Sessions)))
+		place(&res.ChurnClashes)
+	}
+	return res
+}
+
+func occupancyTestGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g, err := topology.GenerateMbone(topology.MboneConfig{Nodes: 150}, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The acceptance criterion for the simulation core: occupancy runs are
+// bit-identical to the serial oracle at partition counts 1, 4 and 8 and
+// at any worker count.
+func TestRunOccupancyMatchesSerialOracle(t *testing.T) {
+	g := occupancyTestGraph(t)
+	for _, mk := range []func() allocator.Allocator{
+		func() allocator.Allocator { return allocator.NewInformedRandom(600) },
+		func() allocator.Allocator { return allocator.NewHybrid(600) },
+	} {
+		base := OccupancyConfig{
+			Graph:    g,
+			Dist:     mcast.DS4(),
+			Sessions: 400,
+			Churn:    120,
+			Seed:     1998,
+		}
+		cfg := base
+		cfg.Alloc = mk()
+		cfg.Partitions = 1
+		want := serialOccupancy(cfg)
+		for _, parts := range []int{1, 4, 8} {
+			for _, workers := range []int{1, 4, 0} {
+				cfg := base
+				cfg.Alloc = mk() // fresh allocator: some keep internal RNG-free state
+				cfg.Partitions = parts
+				cfg.Workers = workers
+				got := RunOccupancy(cfg)
+				got.Partitions = want.Partitions // the only field allowed to differ
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s parts=%d workers=%d diverges from serial oracle:\n got  %+v\n want %+v",
+						want.Algorithm, parts, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The partitioned world's order index must mirror the serial world's
+// session slice through an arbitrary add/remove interleaving — that
+// equivalence is what makes RNG-drawn victim indices partition-count
+// independent.
+func TestPartitionedWorldMirrorsSerialOrder(t *testing.T) {
+	g := occupancyTestGraph(t)
+	cache := topology.NewReachCache(g)
+	serial := NewWorldWithCache(g, cache)
+	part := NewPartitionedWorld(g, cache, 5, 1)
+	rng := stats.NewRNG(42)
+	n := g.NumNodes()
+
+	check := func(step int) {
+		if part.Len() != len(serial.Sessions) {
+			t.Fatalf("step %d: len %d != serial %d", step, part.Len(), len(serial.Sessions))
+		}
+		for k := range serial.Sessions {
+			h := part.order[k]
+			got := part.parts[h.part][h.idx]
+			want := serial.Sessions[k]
+			if got.Origin != want.Origin || got.TTL != want.TTL || got.Addr != want.Addr {
+				t.Fatalf("step %d: order[%d] = %+v, serial holds %+v", step, k, got, want)
+			}
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		if len(serial.Sessions) > 0 && rng.IntN(3) == 0 {
+			k := rng.IntN(len(serial.Sessions))
+			serial.RemoveAt(k)
+			part.RemoveAt(k)
+		} else {
+			origin := topology.NodeID(rng.IntN(n))
+			ttl := mcast.TTL(rng.IntN(256))
+			addr := mcast.Addr(rng.IntN(1000))
+			serial.Add(origin, ttl, addr)
+			part.Add(origin, ttl, addr)
+		}
+		check(step)
+	}
+	// Drain completely: the removal path must hold up to empty.
+	for part.Len() > 0 {
+		k := rng.IntN(part.Len())
+		serial.RemoveAt(k)
+		part.RemoveAt(k)
+		check(-1)
+	}
+}
+
+// VisibleAt's partition-order merge must be a permutation of the serial
+// scan carrying exactly the same multiset of (addr, ttl) pairs.
+func TestPartitionedVisibleAtMatchesSerialSet(t *testing.T) {
+	g := occupancyTestGraph(t)
+	cache := topology.NewReachCache(g)
+	serial := NewWorldWithCache(g, cache)
+	part := NewPartitionedWorld(g, cache, 4, 0)
+	rng := stats.NewRNG(7)
+	n := g.NumNodes()
+	for i := 0; i < 500; i++ {
+		origin := topology.NodeID(rng.IntN(n))
+		ttl := mcast.TTL(16 + rng.IntN(200))
+		addr := mcast.Addr(rng.IntN(300))
+		serial.Add(origin, ttl, addr)
+		part.Add(origin, ttl, addr)
+	}
+	count := func(view []allocator.SessionInfo) map[allocator.SessionInfo]int {
+		m := make(map[allocator.SessionInfo]int, len(view))
+		for _, s := range view {
+			m[s]++
+		}
+		return m
+	}
+	for obs := 0; obs < n; obs += 17 {
+		want := count(serial.VisibleAt(topology.NodeID(obs)))
+		got := count(part.VisibleAt(topology.NodeID(obs)))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("observer %d: visible multiset diverges", obs)
+		}
+	}
+}

@@ -54,6 +54,27 @@ func (m *Message) Release() {
 // contract.
 type Handler func(Message)
 
+// BatchHandler consumes a whole receive batch at once — every datagram
+// one receive syscall retired. The handler owns each Message per the
+// Release contract, but NOT the slice: it is the transport's scratch,
+// valid only for the duration of the call (a handler keeping messages
+// past its return must copy them out first).
+type BatchHandler func([]Message)
+
+// BatchSubscriber is implemented by transports whose receive path
+// retires datagrams in batches (UDP's recvmmsg loop) and can hand the
+// whole batch to one handler call. A registered BatchHandler takes
+// precedence over the per-message Handler; pass nil to fall back.
+// Consumers with an epoch-batched ingest path (the directory) use this
+// to amortise their lock to one acquisition per batch and to parse the
+// batch in parallel. Decorating transports (fault injection, rate
+// limiting) deliberately do not implement BatchSubscriber: their
+// per-packet decisions — and therefore seeded replay schedules — are
+// identical whether delivery batches or not.
+type BatchSubscriber interface {
+	SubscribeBatch(BatchHandler)
+}
+
 // Datagram is one outbound packet of a batch transmission.
 type Datagram struct {
 	Data  []byte

@@ -120,9 +120,15 @@ type UDPTransport struct {
 	drainQuiet atomic.Int64 // quiet window, ns
 	drainStop  atomic.Int64 // hard deadline, unix ns
 
-	// handler is looked up lock-free once per batch; the mutex below only
-	// guards the close handshake, never the per-datagram path.
-	handler atomic.Pointer[Handler]
+	// handler and bhandler are looked up lock-free once per batch; the
+	// mutex below only guards the close handshake, never the per-datagram
+	// path. When both are set, bhandler wins (whole-batch delivery).
+	handler  atomic.Pointer[Handler]
+	bhandler atomic.Pointer[BatchHandler]
+	// rxBatch is the readLoop's scratch slice for whole-batch delivery,
+	// reused across syscalls (the BatchHandler contract forbids keeping
+	// the slice past the call).
+	rxBatch []Message
 	// batchSizes, when observability is enabled, records how many
 	// datagrams each receive syscall retired.
 	batchSizes atomic.Pointer[obs.Histogram]
@@ -134,8 +140,9 @@ type UDPTransport struct {
 }
 
 var (
-	_ Transport   = (*UDPTransport)(nil)
-	_ BatchSender = (*UDPTransport)(nil)
+	_ Transport       = (*UDPTransport)(nil)
+	_ BatchSender     = (*UDPTransport)(nil)
+	_ BatchSubscriber = (*UDPTransport)(nil)
 )
 
 // NewUDP opens a UDP transport. With Peers set it uses unicast fan-out;
@@ -358,6 +365,8 @@ func (t *UDPTransport) readLoop() {
 			hist.Observe(int64(n))
 		}
 		h := t.handler.Load()
+		bh := t.bhandler.Load()
+		t.rxBatch = t.rxBatch[:0]
 		for i := 0; i < n; i++ {
 			s := &slots[i]
 			switch {
@@ -369,11 +378,19 @@ func (t *UDPTransport) readLoop() {
 				continue
 			}
 			t.received.Add(1)
-			if h == nil {
+			if h == nil && bh == nil {
 				continue // nobody listening; reuse the slot buffer in place
 			}
-			(*h)(Message{From: s.from, Data: (*s.buf)[:s.n], pool: t.pool, buf: s.buf})
-			s.buf = t.pool.get() // ownership moved to the handler
+			m := Message{From: s.from, Data: (*s.buf)[:s.n], pool: t.pool, buf: s.buf}
+			s.buf = t.pool.get() // ownership moves to the handler
+			if bh != nil {
+				t.rxBatch = append(t.rxBatch, m)
+				continue
+			}
+			(*h)(m)
+		}
+		if bh != nil && len(t.rxBatch) > 0 {
+			(*bh)(t.rxBatch)
 		}
 	}
 }
@@ -589,6 +606,18 @@ func (t *UDPTransport) Subscribe(h Handler) {
 	t.handler.Store(&h)
 }
 
+// SubscribeBatch implements BatchSubscriber: the read loop hands each
+// receive syscall's accepted datagrams to h in one call instead of one
+// Handler call per datagram. Overrides the per-message handler while
+// set; pass nil to revert.
+func (t *UDPTransport) SubscribeBatch(h BatchHandler) {
+	if h == nil {
+		t.bhandler.Store(nil)
+		return
+	}
+	t.bhandler.Store(&h)
+}
+
 // LocalAddr implements Transport.
 func (t *UDPTransport) LocalAddr() netip.AddrPort { return t.local }
 
@@ -603,5 +632,6 @@ func (t *UDPTransport) Close() error {
 	close(t.done)
 	t.mu.Unlock()
 	t.handler.Store(nil)
+	t.bhandler.Store(nil)
 	return t.io.Load().conn.Close()
 }

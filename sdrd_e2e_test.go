@@ -49,7 +49,7 @@ func TestSdrdBinaryEndToEnd(t *testing.T) {
 			"-peers", peer,
 			"-announce", announceName,
 			"-ttl", "63",
-			"-for", "8s",
+			"-for", scaled(8*time.Second).String(),
 		)
 		cmd.Stdout = &out
 		cmd.Stderr = &out
@@ -71,7 +71,7 @@ func TestSdrdBinaryEndToEnd(t *testing.T) {
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
-	case <-time.After(2 * time.Minute):
+	case <-time.After(scaled(2 * time.Minute)):
 		_ = cmd1.Process.Kill()
 		_ = cmd2.Process.Kill()
 		t.Fatal("daemons did not exit")

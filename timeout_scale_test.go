@@ -1,0 +1,32 @@
+package sessiondir_test
+
+// Shared timeout scaling for the end-to-end tests that race real wall
+// clocks (UDP sockets, spawned daemons). Their constants are tuned for a
+// lightly loaded developer machine; saturated CI runners can set
+// CI_TIMEOUT_SCALE (e.g. 3 or 0.5) to stretch or shrink every e2e
+// deadline together instead of editing constants one flake at a time.
+
+import (
+	"os"
+	"strconv"
+	"time"
+)
+
+// timeoutScale is CI_TIMEOUT_SCALE parsed once; unset, empty, or
+// non-positive values mean 1.
+var timeoutScale = func() float64 {
+	v := os.Getenv("CI_TIMEOUT_SCALE")
+	if v == "" {
+		return 1
+	}
+	s, err := strconv.ParseFloat(v, 64)
+	if err != nil || s <= 0 {
+		return 1
+	}
+	return s
+}()
+
+// scaled stretches an e2e deadline by CI_TIMEOUT_SCALE.
+func scaled(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * timeoutScale)
+}

@@ -99,7 +99,7 @@ func TestDirectoryOverRealUDP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	deadline := time.Now().Add(3 * time.Second)
+	deadline := time.Now().Add(scaled(3 * time.Second))
 	for learned.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -139,7 +139,7 @@ func TestDirectoryRunLoop(t *testing.T) {
 	defer a.Close()
 	_ = tb
 
-	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), scaled(300*time.Millisecond))
 	defer cancel()
 	err = a.Run(ctx)
 	if err != context.DeadlineExceeded {
@@ -169,7 +169,7 @@ func TestDirectoryMetricsMalformed(t *testing.T) {
 	if err := ta.Send(ctx, []byte{0xff, 0x00, 0x01, 0x02, 0x03}, 1); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(scaled(2 * time.Second))
 	for b.Metrics().PacketsMalformed == 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
